@@ -1,0 +1,170 @@
+// Extension: Section 4.1's open question. The paper suspects that
+// "because the PI adjusts its estimates 'on the fly' as it discovers
+// that they are inaccurate, it may not be worth the effort to improve
+// the precision of these estimates — but this is still an open
+// question".
+//
+// This bench measures it. The Figure 11 scenario runs with
+// deliberately bad statistics (log-normal sigma 0.6) and the multi-PI
+// maintenance decision is optionally revised mid-window — with PI
+// estimates (1 or 3 revisions) and, as an upper bound on what any
+// revision scheme could gain, with *true* remaining costs (oracle
+// revision). If even the oracle revision barely moves UW/TW, the
+// paper's suspicion holds: the single PI-guided decision already
+// captures nearly all the value, because under Case 2 an early abort
+// only helps when it rescues *other* queries, and fair sharing makes
+// that rescue rare.
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+#include "pi/pi_manager.h"
+#include "sim/report.h"
+#include "wlm/wlm_advisor.h"
+
+using namespace mqpi;
+
+namespace {
+
+struct Scenario {
+  std::unique_ptr<sched::Rdbms> db;
+  std::map<QueryId, int> rank_of;
+  std::vector<sched::QueryInfo> running;
+  double total_work = 0.0;
+  SimTime rt = 0.0;
+};
+
+std::unique_ptr<Scenario> Prepare(bench::WorkloadFixture* fixture,
+                                  engine::Planner* probe, double rate,
+                                  std::uint64_t seed) {
+  auto scenario = std::make_unique<Scenario>();
+  Rng rng(seed);
+  sched::RdbmsOptions options;
+  options.processing_rate = rate;
+  options.max_concurrent = 10;
+  options.quantum = 0.5;
+  options.cost_model.noise_sigma = 0.6;  // deliberately bad statistics
+  options.cost_model.noise_seed = rng.Next();
+  scenario->db = std::make_unique<sched::Rdbms>(&fixture->catalog, options);
+  for (int i = 0; i < 10; ++i) {
+    const int rank = fixture->workload->SampleRank(&rng);
+    auto id = scenario->db->Submit(fixture->workload->SpecForRank(rank));
+    scenario->rank_of[*id] = rank;
+    const double cost = *fixture->workload->TrueCostOfRank(probe, rank);
+    scenario->db->FastForward(*id, rng.Uniform(0.0, 0.8) * cost);
+    scenario->total_work += cost;
+  }
+  scenario->db->Step(4.0);  // a short settling period
+  scenario->rt = scenario->db->now();
+  scenario->running = scenario->db->RunningQueries();
+  return scenario;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner(
+      "Extension: Section 4.1's open question — is mid-window revision "
+      "worth it?",
+      "the paper suspects not ('it may not be worth the effort'); if "
+      "even oracle revision barely lowers UW/TW, the suspicion holds");
+
+  auto fixture = bench::MakeWorkload(
+      {.max_rank = 100, .a = 2.2, .n_scale = 1});
+  storage::BufferManager scratch;
+  engine::Planner probe(&fixture->catalog, &scratch, {.noise_sigma = 0.0});
+  const double rate = 0.07 * *fixture->workload->AverageTrueCost(&probe);
+  const int runs = bench::NumRuns(20);
+  std::printf("C = %.1f U/s, noise sigma 0.6, %d runs, seed=%llu\n\n", rate,
+              runs, static_cast<unsigned long long>(bench::BaseSeed()));
+
+  sim::SeriesTable table(
+      "Unfinished work (UW/TW, Case 2) vs revision policy "
+      "(3=PI-revised x3, 4=oracle-revised x3)",
+      "policy", {"uw_over_tw"});
+
+  // policy: 0/1/3 = PI revisions; 4 = three truth-based revisions.
+  for (int policy : {0, 1, 3, 4}) {
+    const int revisions = policy == 4 ? 3 : policy;
+    const bool oracle = policy == 4;
+    RunningStats uw;
+    for (int run = 0; run < runs; ++run) {
+      const std::uint64_t seed =
+          bench::BaseSeed() + 2003ull * static_cast<std::uint64_t>(run);
+      auto scenario = Prepare(fixture.get(), &probe, rate, seed);
+      auto* db = scenario->db.get();
+
+      // Deadline: 60% of the analytic no-interruption span.
+      double remaining = 0.0;
+      for (const auto& info : scenario->running) {
+        const double total = *fixture->workload->TrueCostOfRank(
+            &probe, scenario->rank_of[info.id]);
+        remaining += total - info.completed_work;
+      }
+      const double deadline = 0.6 * remaining / rate;
+
+      wlm::WlmAdvisor advisor(db);
+      auto plan = advisor.PrepareMaintenance(
+          deadline, wlm::LossMetric::kTotalCost,
+          wlm::MaintenanceMethod::kMultiPi, nullptr);
+      if (!plan.ok()) continue;
+      std::vector<QueryId> aborted = plan->abort_now;
+
+      // Mid-window revisions at even spacing.
+      const SimTime start = db->now();
+      SimTime elapsed = 0.0;
+      for (int r = 1; r <= revisions; ++r) {
+        const SimTime target =
+            deadline * static_cast<double>(r) /
+            static_cast<double>(revisions + 1);
+        db->RunUntilIdle(start + target);
+        elapsed = db->now() - start;
+        if (oracle) {
+          // Truth-based revision: exact knapsack on true remaining.
+          std::vector<wlm::MaintenanceQuery> truth;
+          for (const auto& info : db->RunningQueries()) {
+            const double total = *fixture->workload->TrueCostOfRank(
+                &probe, scenario->rank_of[info.id]);
+            truth.push_back(wlm::MaintenanceQuery{
+                info.id, info.completed_work,
+                total - info.completed_work});
+          }
+          auto revised = wlm::MaintenancePlanner::PlanOptimal(
+              truth, deadline - elapsed, rate,
+              wlm::LossMetric::kTotalCost);
+          if (revised.ok()) {
+            for (QueryId id : revised->abort_now) {
+              if (db->Abort(id).ok()) aborted.push_back(id);
+            }
+          }
+        } else {
+          auto revised = advisor.ReviseMaintenance(
+              deadline - elapsed, wlm::LossMetric::kTotalCost);
+          if (revised.ok()) {
+            aborted.insert(aborted.end(), revised->abort_now.begin(),
+                           revised->abort_now.end());
+          }
+        }
+      }
+      db->RunUntilIdle(start + deadline);
+      for (const auto& info : advisor.AbortAllUnfinished()) {
+        aborted.push_back(info.id);
+      }
+
+      double unfinished = 0.0;
+      for (QueryId id : aborted) {
+        unfinished += *fixture->workload->TrueCostOfRank(
+            &probe, scenario->rank_of[id]);
+      }
+      uw.Observe(unfinished / scenario->total_work);
+    }
+    table.AddRow(policy, {uw.mean()});
+    std::printf("policy=%d (%s, %d revisions) done (UW/TW %.3f)\n", policy,
+                oracle ? "oracle" : "PI", revisions, uw.mean());
+  }
+  std::printf("\n");
+  bench::PrintTable(table);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figures 8 and 9: SCQ with a misestimated arrival rate
+// (Section 5.2.3, second part).
+//
+// True lambda = 0.03; the multi-query PI forecasts with lambda' swept
+// over [0, 0.2]. Paper shape: the farther lambda' is from lambda, the
+// worse the multi-query estimate — but unless lambda' is more than
+// about five times lambda, the multi-query estimate still beats the
+// single-query estimate ("even somewhat inaccurate information about
+// the future is better than no information").
+
+#include <cstdio>
+
+#include "scq_common.h"
+#include "sim/report.h"
+
+using namespace mqpi;
+
+int main() {
+  bench::Banner(
+      "Figures 8-9: SCQ relative error vs misestimated lambda' "
+      "(true lambda = 0.03)",
+      "multi-query error grows with |lambda' - lambda| but beats the "
+      "single-query estimate unless lambda' > ~5x lambda");
+
+  auto fixture = bench::MakeWorkload(
+      {.max_rank = 100, .a = 2.2, .n_scale = 1});
+  storage::BufferManager scratch;
+  engine::Planner probe(&fixture->catalog, &scratch, {.noise_sigma = 0.0});
+  const double avg_cost = *fixture->workload->AverageTrueCost(&probe);
+  const double rate = 0.07 * avg_cost;
+  const int runs = bench::NumRuns();
+  const double lambda = 0.03;
+  std::printf("c-bar = %.0f U, C = %.1f U/s, true lambda = %.2f, %d runs, "
+              "seed=%llu\n\n",
+              avg_cost, rate, lambda, runs,
+              static_cast<unsigned long long>(bench::BaseSeed()));
+
+  sim::SeriesTable fig8(
+      "Figure 8: relative error vs lambda', last-finishing query",
+      "lambda_used", {"single_query_err", "multi_query_err"});
+  sim::SeriesTable fig9(
+      "Figure 9: average relative error vs lambda', all ten queries",
+      "lambda_used", {"single_query_err", "multi_query_err"});
+
+  for (double lambda_used :
+       {0.0, 0.01, 0.03, 0.05, 0.07, 0.10, 0.15, 0.20}) {
+    RunningStats last_single, last_multi, avg_single, avg_multi;
+    for (int run = 0; run < runs; ++run) {
+      bench::ScqConfig config;
+      config.lambda = lambda;
+      config.lambda_used = lambda_used;
+      config.rate = rate;
+      config.seed = bench::BaseSeed() + 6271ull * static_cast<std::uint64_t>(run);
+      const auto result = bench::RunScqOnce(fixture.get(), config);
+      last_single.Observe(result.last_single_error);
+      last_multi.Observe(result.last_multi_error);
+      avg_single.Observe(Mean(result.single_errors));
+      avg_multi.Observe(Mean(result.multi_errors));
+    }
+    fig8.AddRow(lambda_used, {last_single.mean(), last_multi.mean()});
+    fig9.AddRow(lambda_used, {avg_single.mean(), avg_multi.mean()});
+    std::printf("lambda'=%.2f done (last: single %.2f multi %.2f)\n",
+                lambda_used, last_single.mean(), last_multi.mean());
+  }
+  std::printf("\n");
+  bench::PrintTable(fig8);
+  std::printf("\n");
+  bench::PrintTable(fig9);
+  return 0;
+}

@@ -1,0 +1,190 @@
+// Section 2.2 / 3 complexity claims, measured with google-benchmark.
+//
+// The paper states O(n log n) time and O(n) space for the stage
+// computation and for the victim-selection algorithms, and O(n) for the
+// equal-priority fast path. Each benchmark sweeps n; the reported
+// per-item complexity trend makes the asymptotics visible.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "pi/analytic_simulator.h"
+#include "pi/multi_query_pi.h"
+#include "sched/rdbms.h"
+#include "storage/catalog.h"
+#include "pi/stage_profile.h"
+#include "wlm/maintenance.h"
+#include "wlm/speedup.h"
+
+namespace {
+
+using mqpi::QueryId;
+using mqpi::Rng;
+using mqpi::pi::QueryLoad;
+
+std::vector<QueryLoad> MakeLoads(int n, bool uniform_weights) {
+  Rng rng(42);
+  std::vector<QueryLoad> loads;
+  loads.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    loads.push_back(QueryLoad{static_cast<QueryId>(i + 1),
+                              rng.Uniform(1.0, 1000.0),
+                              uniform_weights ? 1.0 : rng.Uniform(0.5, 8.0)});
+  }
+  return loads;
+}
+
+void BM_StageProfileCompute(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto loads = MakeLoads(n, /*uniform_weights=*/false);
+  for (auto _ : state) {
+    auto profile = mqpi::pi::StageProfile::Compute(loads, 1000.0);
+    benchmark::DoNotOptimize(profile);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_StageProfileCompute)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_AnalyticSimulatorForecast(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto loads = MakeLoads(n, false);
+  mqpi::pi::AnalyticModelOptions options;
+  options.rate = 1000.0;
+  for (auto _ : state) {
+    auto forecast =
+        mqpi::pi::AnalyticSimulator::Forecast(loads, {}, {}, options);
+    benchmark::DoNotOptimize(forecast);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AnalyticSimulatorForecast)
+    ->RangeMultiplier(4)
+    ->Range(16, 16384)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_AnalyticSimulatorWithArrivals(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto loads = MakeLoads(n, false);
+  std::vector<mqpi::pi::FutureArrival> arrivals;
+  Rng rng(7);
+  for (int i = 0; i < n; ++i) {
+    arrivals.push_back(mqpi::pi::FutureArrival{
+        rng.Uniform(0.0, 100.0), rng.Uniform(1.0, 500.0), 1.0,
+        static_cast<QueryId>(n + i + 1)});
+  }
+  mqpi::pi::AnalyticModelOptions options;
+  options.rate = 1000.0;
+  for (auto _ : state) {
+    auto forecast =
+        mqpi::pi::AnalyticSimulator::Forecast(loads, {}, arrivals, options);
+    benchmark::DoNotOptimize(forecast);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_AnalyticSimulatorWithArrivals)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_SingleQuerySpeedupChoose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto loads = MakeLoads(n, false);
+  const QueryId target = loads[static_cast<std::size_t>(n) / 2].id;
+  for (auto _ : state) {
+    auto choice =
+        mqpi::wlm::SingleQuerySpeedup::ChooseVictims(loads, target, 1, 1000.0);
+    benchmark::DoNotOptimize(choice);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_SingleQuerySpeedupChoose)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_EqualPriorityFastPath(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto loads = MakeLoads(n, /*uniform_weights=*/true);
+  const QueryId target = loads[static_cast<std::size_t>(n) / 2].id;
+  for (auto _ : state) {
+    auto victim = mqpi::wlm::SingleQuerySpeedup::ChooseVictimEqualPriority(
+        loads, target);
+    benchmark::DoNotOptimize(victim);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EqualPriorityFastPath)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oN);
+
+void BM_MultiQuerySpeedupChoose(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto loads = MakeLoads(n, false);
+  for (auto _ : state) {
+    auto choice = mqpi::wlm::MultiQuerySpeedup::ChooseVictim(loads, 1000.0);
+    benchmark::DoNotOptimize(choice);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MultiQuerySpeedupChoose)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+void BM_MaintenanceGreedy(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(11);
+  std::vector<mqpi::wlm::MaintenanceQuery> queries;
+  for (int i = 0; i < n; ++i) {
+    queries.push_back(mqpi::wlm::MaintenanceQuery{
+        static_cast<QueryId>(i + 1), rng.Uniform(0.0, 500.0),
+        rng.Uniform(1.0, 500.0)});
+  }
+  for (auto _ : state) {
+    auto plan = mqpi::wlm::MaintenancePlanner::PlanGreedy(
+        queries, 10.0, 1000.0, mqpi::wlm::LossMetric::kTotalCost);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MaintenanceGreedy)
+    ->RangeMultiplier(4)
+    ->Range(16, 65536)
+    ->Complexity(benchmark::oNLogN);
+
+// Section 4.3: "the effective n ... is likely to be small and the
+// computational cost will be small" — measure the live cost of one
+// full multi-query forecast over n running queries on a real Rdbms.
+void BM_LiveForecastAll(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  static mqpi::storage::Catalog catalog;  // shared across iterations
+  mqpi::sched::RdbmsOptions options;
+  options.processing_rate = 1e9;  // keep queries alive regardless of n
+  options.cost_model.noise_sigma = 0.0;
+  mqpi::sched::Rdbms db(&catalog, options);
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    benchmark::DoNotOptimize(db.Submit(
+        mqpi::engine::QuerySpec::Synthetic(rng.Uniform(1e6, 1e9))));
+  }
+  mqpi::pi::MultiQueryPi pi(&db);
+  for (auto _ : state) {
+    auto forecast = pi.ForecastAll();
+    benchmark::DoNotOptimize(forecast);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LiveForecastAll)
+    ->RangeMultiplier(4)
+    ->Range(4, 1024)
+    ->Complexity(benchmark::oNLogN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table 1: the test data set.
+//
+//   paper:  lineitem  24M tuples   3.02 GB
+//           part_i    10*N_i tuples  1.4*N_i KB
+//
+// We regenerate the same schema at a configurable scale factor and
+// report tuple counts, page counts, and nominal sizes, plus the
+// invariants the paper states: distinct random partkeys per part table
+// and ~30 lineitem matches per part tuple.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "sim/report.h"
+
+using namespace mqpi;
+
+int main() {
+  bench::Banner("Table 1: test data set",
+                "lineitem with ~30 matches per partkey; part_i with "
+                "10*N_i distinct random partkeys");
+
+  auto fixture = bench::MakeWorkload(
+      {.max_rank = 10, .a = 2.2, .n_scale = 10});
+
+  const auto* lineitem = *fixture->catalog.GetTable("lineitem");
+  const auto stats = *fixture->catalog.GetStats("lineitem");
+  std::printf("lineitem: %zu tuples, %llu pages, %.2f MB "
+              "(paper: 24M tuples, 3.02 GB; scale factor %.5f)\n",
+              lineitem->num_tuples(),
+              static_cast<unsigned long long>(lineitem->num_pages()),
+              static_cast<double>(lineitem->size_bytes()) / (1024.0 * 1024.0),
+              static_cast<double>(lineitem->num_tuples()) / 24e6);
+  std::printf("lineitem distinct partkeys: %llu, avg matches per key: %.2f "
+              "(paper: 30)\n\n",
+              static_cast<unsigned long long>(stats.num_distinct_keys),
+              stats.avg_matches_per_key);
+
+  sim::SeriesTable table("part_i tables (N_i = 10 * i at this scale)", "i",
+                         {"N_i", "tuples", "pages", "size_KB"});
+  for (int i = 1; i <= 10; ++i) {
+    const auto* part = *fixture->catalog.GetTable(
+        storage::TpcrGenerator::PartTableName(i));
+    table.AddRow(i, {static_cast<double>(10 * i),
+                     static_cast<double>(part->num_tuples()),
+                     static_cast<double>(part->num_pages()),
+                     static_cast<double>(part->size_bytes()) / 1024.0});
+  }
+  table.PrintText();
+
+  const auto* index = *fixture->catalog.GetIndex("lineitem_partkey_idx");
+  std::printf("\nlineitem_partkey_idx: %zu entries, height %u, %llu pages\n",
+              index->num_entries(), index->height(),
+              static_cast<unsigned long long>(index->num_pages()));
+  return 0;
+}

@@ -1,0 +1,220 @@
+// mqpi_shell: a tiny psql-style driver for the library, script-friendly
+// (reads commands from stdin, echoes results to stdout). Run it
+// interactively or pipe a script:
+//
+//   ./mqpi_shell <<'EOF'
+//   gen lineitem 2000 30
+//   gen part part_a 40
+//   explain select count(*) from lineitem where partkey > 1900
+//   submit select * from part_a p where p.retailprice * 0.75 >
+//          (select sum(l.extendedprice) / sum(l.quantity)
+//           from lineitem l where l.partkey = p.partkey)
+//   step 5
+//   pis
+//   run
+//   EOF
+//
+// Commands:
+//   gen lineitem <keys> <matches>   build lineitem + index
+//   gen part <name> <N_i>           build a part table (10*N_i rows)
+//   submit <sql>                    parse, plan, and submit a query
+//   explain <sql>                   show the plan without running
+//   step <seconds>                  advance simulated time
+//   pis                             progress dashboard (both estimators)
+//   block <id> / resume <id> / abort <id>
+//   priority <id> low|normal|high|critical
+//   run                             step until idle
+//   quit
+
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "engine/sql_parser.h"
+#include "pi/pi_manager.h"
+#include "sched/rdbms.h"
+#include "storage/tpcr_gen.h"
+
+using namespace mqpi;
+
+namespace {
+
+struct Shell {
+  storage::Catalog catalog;
+  std::unique_ptr<storage::TpcrGenerator> generator;
+  std::unique_ptr<sched::Rdbms> db;
+  std::unique_ptr<pi::PiManager> pis;
+
+  Shell() {
+    sched::RdbmsOptions options;
+    options.processing_rate = 1000.0;
+    options.quantum = 0.1;
+    options.cost_model.noise_sigma = 0.15;
+    db = std::make_unique<sched::Rdbms>(&catalog, options);
+    pis = std::make_unique<pi::PiManager>(
+        db.get(),
+        pi::PiManagerOptions{.sample_interval = 1.0, .auto_track = true});
+  }
+
+  void Step(double seconds) {
+    double remaining = seconds;
+    while (remaining > 1e-9) {
+      const double dt = std::min(remaining, db->options().quantum);
+      db->Step(dt);
+      pis->AfterStep();
+      remaining -= dt;
+    }
+  }
+
+  void ShowPis() {
+    std::printf("t=%.1f s | running %d | queued %d\n", db->now(),
+                db->num_running(), db->num_queued());
+    for (const auto& row : pis->Report()) {
+      std::printf("  #%llu %-8s %5.1f%%  single %8.8s  multi %8.8s  %s\n",
+                  static_cast<unsigned long long>(row.id),
+                  std::string(sched::QueryStateName(row.state)).c_str(),
+                  100.0 * row.fraction_done,
+                  row.eta_single == kUnknown || row.eta_single >= kInfiniteTime
+                      ? "?"
+                      : std::to_string(row.eta_single).c_str(),
+                  row.eta_multi == kUnknown || row.eta_multi >= kInfiniteTime
+                      ? "?"
+                      : std::to_string(row.eta_multi).c_str(),
+                  row.label.substr(0, 48).c_str());
+    }
+  }
+};
+
+Result<Priority> ParsePriority(const std::string& name) {
+  if (name == "low") return Priority::kLow;
+  if (name == "normal") return Priority::kNormal;
+  if (name == "high") return Priority::kHigh;
+  if (name == "critical") return Priority::kCritical;
+  return Status::InvalidArgument("unknown priority '" + name + "'");
+}
+
+}  // namespace
+
+int main() {
+  Shell shell;
+  std::string line;
+  std::printf("mqpi shell — type commands (see source header); 'quit' "
+              "exits.\n");
+  while (std::getline(std::cin, line)) {
+    std::istringstream is(line);
+    std::string cmd;
+    is >> cmd;
+    if (cmd.empty() || cmd[0] == '#') continue;
+
+    if (cmd == "quit" || cmd == "exit") break;
+
+    if (cmd == "gen") {
+      std::string what;
+      is >> what;
+      if (what == "lineitem") {
+        std::int64_t keys = 2000;
+        int matches = 30;
+        is >> keys >> matches;
+        shell.generator = std::make_unique<storage::TpcrGenerator>(
+            storage::TpcrConfig{keys, matches, 42});
+        const Status status = shell.generator->BuildLineitem(&shell.catalog);
+        std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      } else if (what == "part") {
+        std::string name;
+        std::int64_t n_i = 10;
+        is >> name >> n_i;
+        if (!shell.generator) {
+          std::printf("error: gen lineitem first\n");
+          continue;
+        }
+        const Status status =
+            shell.generator->BuildPartTable(&shell.catalog, name, n_i);
+        std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      } else {
+        std::printf("usage: gen lineitem <keys> <matches> | gen part "
+                    "<name> <N_i>\n");
+      }
+      continue;
+    }
+
+    if (cmd == "submit" || cmd == "explain") {
+      std::string sql;
+      std::getline(is, sql);
+      // Allow multi-line SQL: keep reading while the parse fails with a
+      // premature end (simple heuristic: unbalanced parentheses).
+      auto balanced = [](const std::string& s) {
+        int depth = 0;
+        for (char c : s) {
+          if (c == '(') ++depth;
+          if (c == ')') --depth;
+        }
+        return depth <= 0;
+      };
+      std::string more;
+      while (!balanced(sql) && std::getline(std::cin, more)) {
+        sql += " " + more;
+      }
+      auto spec = engine::ParseSql(sql);
+      if (!spec.ok()) {
+        std::printf("parse error: %s\n", spec.status().ToString().c_str());
+        continue;
+      }
+      if (cmd == "explain") {
+        auto report = shell.db->planner()->Explain(*spec);
+        std::printf("%s\n", report.ok() ? report->c_str()
+                                        : report.status().ToString().c_str());
+      } else {
+        auto id = shell.db->Submit(*spec);
+        if (id.ok()) {
+          std::printf("submitted #%llu\n",
+                      static_cast<unsigned long long>(*id));
+        } else {
+          std::printf("error: %s\n", id.status().ToString().c_str());
+        }
+      }
+      continue;
+    }
+
+    if (cmd == "step") {
+      double seconds = 1.0;
+      is >> seconds;
+      shell.Step(seconds);
+      std::printf("t=%.1f s\n", shell.db->now());
+      continue;
+    }
+    if (cmd == "pis") {
+      shell.ShowPis();
+      continue;
+    }
+    if (cmd == "run") {
+      while (!shell.db->Idle()) shell.Step(1.0);
+      std::printf("idle at t=%.1f s\n", shell.db->now());
+      continue;
+    }
+    if (cmd == "block" || cmd == "resume" || cmd == "abort") {
+      QueryId id = 0;
+      is >> id;
+      const Status status = cmd == "block"    ? shell.db->Block(id)
+                            : cmd == "resume" ? shell.db->Resume(id)
+                                              : shell.db->Abort(id);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    if (cmd == "priority") {
+      QueryId id = 0;
+      std::string level;
+      is >> id >> level;
+      auto priority = ParsePriority(level);
+      if (!priority.ok()) {
+        std::printf("%s\n", priority.status().ToString().c_str());
+        continue;
+      }
+      const Status status = shell.db->SetPriority(id, *priority);
+      std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
+      continue;
+    }
+    std::printf("unknown command '%s'\n", cmd.c_str());
+  }
+  return 0;
+}

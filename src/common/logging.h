@@ -1,0 +1,40 @@
+// Minimal leveled logger. Logging is off by default (benches print
+// structured output themselves); tests flip it on when debugging.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mqpi {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one line to stderr if `level` >= threshold.
+void LogMessage(LogLevel level, const std::string& msg);
+
+namespace internal {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MQPI_LOG(level) ::mqpi::internal::LogLine(::mqpi::LogLevel::level)
+
+}  // namespace mqpi

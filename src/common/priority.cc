@@ -1,0 +1,19 @@
+#include "common/priority.h"
+
+namespace mqpi {
+
+std::string_view PriorityName(Priority p) {
+  switch (p) {
+    case Priority::kLow:
+      return "low";
+    case Priority::kNormal:
+      return "normal";
+    case Priority::kHigh:
+      return "high";
+    case Priority::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+}  // namespace mqpi

@@ -1,0 +1,45 @@
+// Query priorities and their scheduler weights (paper Assumption 3:
+// each query executes at speed s_i = C * w_i / W, where w_i is the
+// weight associated with the query's priority).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace mqpi {
+
+/// Discrete priority levels, ordered low-to-high. The paper's PostgreSQL
+/// prototype had a single level ("PostgreSQL does not support priorities
+/// for queries"); our engine supports the full weighted model so the
+/// priority-aware algorithms of Sections 2-3 are exercised.
+enum class Priority : std::uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+  kCritical = 3,
+};
+
+inline constexpr int kNumPriorities = 4;
+
+/// Maps priorities to scheduler weights. Weights are strictly positive
+/// and monotone in priority; the defaults follow a 1/2/4/8 doubling
+/// ladder, a common choice in commercial workload managers.
+class PriorityWeights {
+ public:
+  constexpr PriorityWeights() : weights_{1.0, 2.0, 4.0, 8.0} {}
+  constexpr PriorityWeights(double low, double normal, double high,
+                            double critical)
+      : weights_{low, normal, high, critical} {}
+
+  constexpr double WeightOf(Priority p) const {
+    return weights_[static_cast<int>(p)];
+  }
+
+ private:
+  std::array<double, kNumPriorities> weights_;
+};
+
+std::string_view PriorityName(Priority p);
+
+}  // namespace mqpi

@@ -1,0 +1,128 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mqpi {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 high bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>(Next());  // full range
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % range);
+  std::uint64_t v;
+  do {
+    v = Next();
+  } while (v >= limit);
+  return lo + static_cast<std::int64_t>(v % range);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double lambda) {
+  assert(lambda > 0.0);
+  // Guard against log(0) by nudging u away from zero.
+  double u = NextDouble();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / lambda;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  double u1 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = NextDouble();
+  const double z = std::sqrt(-2.0 * std::log(u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  return mean + stddev * z;
+}
+
+double Rng::LogNormalFactor(double sigma) {
+  if (sigma <= 0.0) return 1.0;
+  return std::exp(Normal(0.0, sigma));
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfSampler::ZipfSampler(int n, double a) : n_(n), a_(a) {
+  assert(n >= 1);
+  assert(a > 0.0);
+  cdf_.resize(static_cast<std::size_t>(n));
+  double total = 0.0;
+  for (int k = 1; k <= n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k), a);
+    cdf_[static_cast<std::size_t>(k - 1)] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // exact, despite rounding
+}
+
+int ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->NextDouble();
+  // Binary search for the first cdf_ entry >= u.
+  int lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo) / 2;
+    if (cdf_[static_cast<std::size_t>(mid)] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo + 1;
+}
+
+double ZipfSampler::Probability(int k) const {
+  assert(k >= 1 && k <= n_);
+  const double lower = (k == 1) ? 0.0 : cdf_[static_cast<std::size_t>(k - 2)];
+  return cdf_[static_cast<std::size_t>(k - 1)] - lower;
+}
+
+PoissonProcess::PoissonProcess(double lambda, double start_time)
+    : lambda_(lambda), t_(start_time) {}
+
+double PoissonProcess::NextArrival(Rng* rng) {
+  assert(active());
+  t_ += rng->Exponential(lambda_);
+  return t_;
+}
+
+}  // namespace mqpi

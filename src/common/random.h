@@ -1,0 +1,95 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All randomness in the repository flows from a seeded Rng so every
+// experiment is reproducible; benches print their seeds. The Zipf
+// sampler implements the distribution used throughout the paper's
+// evaluation (query sizes N_i ~ Zipf(a)), and the Poisson process
+// drives Section 5.2.3's stream of arriving queries.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mqpi {
+
+/// xoshiro256** 1.0 (Blackman & Vigna). Small, fast, and good enough
+/// statistical quality for simulation workloads; seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Exponential with rate lambda (mean 1/lambda). Requires lambda > 0.
+  double Exponential(double lambda);
+
+  /// Standard normal via Box-Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Log-normal multiplicative factor with median 1 and the given sigma
+  /// of the underlying normal; used for optimizer-estimate noise.
+  double LogNormalFactor(double sigma);
+
+  /// Forks an independent stream (jump-free: reseeds from this stream).
+  Rng Fork();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+/// Samples ranks from a Zipfian distribution over {1, ..., n}:
+/// P(rank = k) proportional to 1 / k^a. Uses an O(log n) inverse-CDF
+/// lookup over precomputed cumulative weights.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and a > 0.
+  ZipfSampler(int n, double a);
+
+  /// Returns a rank in [1, n].
+  int Sample(Rng* rng) const;
+
+  int n() const { return n_; }
+  double a() const { return a_; }
+
+  /// P(rank = k), for tests and analytic checks.
+  double Probability(int k) const;
+
+ private:
+  int n_;
+  double a_;
+  std::vector<double> cdf_;  // cdf_[k-1] = P(rank <= k)
+};
+
+/// Homogeneous Poisson arrival process with rate lambda (events/sec).
+/// NextArrival() advances internal time by an Exponential(lambda) gap.
+class PoissonProcess {
+ public:
+  PoissonProcess(double lambda, double start_time = 0.0);
+
+  /// True when lambda > 0 (a zero-rate process never fires).
+  bool active() const { return lambda_ > 0.0; }
+  double lambda() const { return lambda_; }
+
+  /// Returns the next arrival time (strictly after the previous one)
+  /// and advances the process. Requires active().
+  double NextArrival(Rng* rng);
+
+  /// Time of the most recently generated arrival (or start time).
+  double current_time() const { return t_; }
+
+ private:
+  double lambda_;
+  double t_;
+};
+
+}  // namespace mqpi

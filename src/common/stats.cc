@@ -1,0 +1,74 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mqpi {
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+  assert(alpha > 0.0 && alpha <= 1.0);
+}
+
+void Ewma::Observe(double value) {
+  if (!initialized_) {
+    value_ = value;
+    initialized_ = true;
+  } else {
+    value_ = alpha_ * value + (1.0 - alpha_) * value_;
+  }
+}
+
+void Ewma::Reset() {
+  value_ = 0.0;
+  initialized_ = false;
+}
+
+void RunningStats::Observe(double value) {
+  ++n_;
+  if (n_ == 1) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RelativeError(double estimate, double actual) {
+  const double diff = std::fabs(estimate - actual);
+  if (std::fabs(actual) < 1e-12) {
+    return diff < 1e-12 ? 0.0 : diff;  // degenerate: no meaningful scale
+  }
+  return diff / std::fabs(actual);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+}  // namespace mqpi

@@ -1,0 +1,47 @@
+// Core quantity types shared by every module.
+//
+// The paper measures query cost in abstract work units "U" (1 U = the
+// work to process one page of bytes) and time in seconds. We keep both
+// as doubles but wrap them in thin aliases + helpers so call sites stay
+// readable and unit mistakes are greppable.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace mqpi {
+
+/// Work measured in U's (pages of processing). Fractional values arise
+/// from analytic stage computations, never from the executor.
+using WorkUnits = double;
+
+/// Simulated time in seconds.
+using SimTime = double;
+
+/// Processing speed in U's per second.
+using Speed = double;
+
+/// Sentinel for "unknown / not yet estimated".
+inline constexpr double kUnknown = -1.0;
+
+/// Positive infinity, used for "never finishes" horizons.
+inline constexpr double kInfiniteTime =
+    std::numeric_limits<double>::infinity();
+
+/// Identifier of a query within one Rdbms instance. Monotonically
+/// assigned at submission; never reused.
+using QueryId = std::uint64_t;
+inline constexpr QueryId kInvalidQueryId = ~QueryId{0};
+
+/// Tolerance for floating-point comparisons on times/costs. Stage
+/// boundaries are computed analytically and compared against quantized
+/// executor progress, so exact equality is never appropriate.
+inline constexpr double kTimeEpsilon = 1e-9;
+
+inline bool ApproxEqual(double a, double b, double eps = 1e-9) {
+  double diff = a > b ? a - b : b - a;
+  double scale = (a < 0 ? -a : a) + (b < 0 ? -b : b) + 1.0;
+  return diff <= eps * scale;
+}
+
+}  // namespace mqpi

@@ -1,0 +1,106 @@
+#include "engine/expr.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mqpi::engine {
+
+std::string_view BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kAnd:
+      return "and";
+    case BinaryOp::kOr:
+      return "or";
+  }
+  return "?";
+}
+
+std::string ConstExpr::ToString() const {
+  std::ostringstream os;
+  os << value_;
+  return os.str();
+}
+
+double BinaryExpr::Eval(const storage::Tuple& tuple) const {
+  const double l = left_->Eval(tuple);
+  // Short-circuit logical operators.
+  if (op_ == BinaryOp::kAnd) {
+    return (l != 0.0 && right_->Eval(tuple) != 0.0) ? 1.0 : 0.0;
+  }
+  if (op_ == BinaryOp::kOr) {
+    return (l != 0.0 || right_->Eval(tuple) != 0.0) ? 1.0 : 0.0;
+  }
+  const double r = right_->Eval(tuple);
+  switch (op_) {
+    case BinaryOp::kAdd:
+      return l + r;
+    case BinaryOp::kSub:
+      return l - r;
+    case BinaryOp::kMul:
+      return l * r;
+    case BinaryOp::kDiv:
+      return r == 0.0 ? std::numeric_limits<double>::quiet_NaN() : l / r;
+    case BinaryOp::kGt:
+      return l > r ? 1.0 : 0.0;
+    case BinaryOp::kGe:
+      return l >= r ? 1.0 : 0.0;
+    case BinaryOp::kLt:
+      return l < r ? 1.0 : 0.0;
+    case BinaryOp::kLe:
+      return l <= r ? 1.0 : 0.0;
+    case BinaryOp::kEq:
+      return l == r ? 1.0 : 0.0;
+    case BinaryOp::kNe:
+      return l != r ? 1.0 : 0.0;
+    case BinaryOp::kAnd:
+    case BinaryOp::kOr:
+      break;  // handled above
+  }
+  return 0.0;
+}
+
+std::string BinaryExpr::ToString() const {
+  std::string s = "(";
+  s += left_->ToString();
+  s += " ";
+  s += BinaryOpName(op_);
+  s += " ";
+  s += right_->ToString();
+  s += ")";
+  return s;
+}
+
+ExprPtr Const(double v) { return std::make_unique<ConstExpr>(v); }
+
+Result<ExprPtr> Col(const storage::Schema& schema, const std::string& column) {
+  auto idx = schema.ColumnIndex(column);
+  if (!idx.ok()) return idx.status();
+  return ExprPtr(std::make_unique<ColumnExpr>(*idx, column));
+}
+
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+
+}  // namespace mqpi::engine

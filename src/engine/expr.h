@@ -1,0 +1,90 @@
+// Scalar expressions over tuples. Numeric-only: the paper's workload
+// (price/quantity arithmetic and comparisons) needs nothing more, and a
+// double-valued evaluator keeps the executor's inner loop cheap.
+// Booleans are represented as 0.0 / 1.0.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mqpi::engine {
+
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kGt,
+  kGe,
+  kLt,
+  kLe,
+  kEq,
+  kNe,
+  kAnd,
+  kOr,
+};
+
+std::string_view BinaryOpName(BinaryOp op);
+
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  /// Evaluates against one tuple. Column references index into it.
+  virtual double Eval(const storage::Tuple& tuple) const = 0;
+  /// Human-readable rendering, e.g. "(retailprice * 0.75)".
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(double value) : value_(value) {}
+  double Eval(const storage::Tuple&) const override { return value_; }
+  std::string ToString() const override;
+
+ private:
+  double value_;
+};
+
+class ColumnExpr final : public Expr {
+ public:
+  ColumnExpr(std::size_t index, std::string name)
+      : index_(index), name_(std::move(name)) {}
+  double Eval(const storage::Tuple& tuple) const override {
+    return storage::AsDouble(tuple.at(index_));
+  }
+  std::string ToString() const override { return name_; }
+  std::size_t index() const { return index_; }
+
+ private:
+  std::size_t index_;
+  std::string name_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinaryOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  double Eval(const storage::Tuple& tuple) const override;
+  std::string ToString() const override;
+
+ private:
+  BinaryOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+// ---- convenience builders -------------------------------------------------
+
+ExprPtr Const(double v);
+/// Resolves `column` against `schema`; fails if absent.
+Result<ExprPtr> Col(const storage::Schema& schema, const std::string& column);
+ExprPtr Bin(BinaryOp op, ExprPtr l, ExprPtr r);
+
+}  // namespace mqpi::engine

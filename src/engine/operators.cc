@@ -1,0 +1,481 @@
+#include "engine/operators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mqpi::engine {
+
+using storage::PageId;
+using storage::Tuple;
+using storage::Value;
+
+// ---- SeqScanOperator -------------------------------------------------------
+
+SeqScanOperator::SeqScanOperator(const storage::Table* table)
+    : table_(table) {}
+
+Result<OpResult> SeqScanOperator::Next(ExecContext* ctx, Tuple* out) {
+  if (row_ >= table_->num_tuples()) return OpResult::kDone;
+  const std::uint64_t page = table_->PageOfRow(row_);
+  if (page != last_page_) {
+    ctx->account->Touch(PageId{table_->id(), page});
+    last_page_ = page;
+  }
+  *out = table_->Get(row_++);
+  return OpResult::kRow;
+}
+
+std::string SeqScanOperator::name() const {
+  return "SeqScan(" + table_->name() + ")";
+}
+
+// ---- IndexScanOperator -----------------------------------------------------
+
+IndexScanOperator::IndexScanOperator(const storage::Index* index,
+                                     const storage::Table* table,
+                                     std::int64_t key)
+    : index_(index), table_(table), key_(key) {}
+
+Result<OpResult> IndexScanOperator::Next(ExecContext* ctx, Tuple* out) {
+  if (!probed_) {
+    probed_ = true;
+    // Root-to-leaf descent.
+    for (std::uint32_t level = 0; level < index_->height(); ++level) {
+      ctx->account->Touch(PageId{index_->id(), level});
+    }
+    matches_ = index_->Lookup(key_);
+    // Extra leaf pages when the match list spills over one leaf.
+    const std::uint64_t leaves = index_->LeafPagesForMatches(matches_.size());
+    for (std::uint64_t extra = 1; extra < leaves; ++extra) {
+      ctx->account->Touch(PageId{index_->id(), index_->height() + extra});
+    }
+  }
+  if (pos_ >= matches_.size()) return OpResult::kDone;
+  const storage::RowId row = matches_[pos_++].row;
+  ctx->account->Touch(PageId{table_->id(), table_->PageOfRow(row)});
+  *out = table_->Get(row);
+  return OpResult::kRow;
+}
+
+std::string IndexScanOperator::name() const {
+  return "IndexScan(" + index_->name() + ")";
+}
+
+// ---- IndexRangeScanOperator --------------------------------------------------
+
+IndexRangeScanOperator::IndexRangeScanOperator(const storage::Index* index,
+                                               const storage::Table* table,
+                                               std::int64_t lo,
+                                               std::int64_t hi)
+    : index_(index), table_(table), lo_(lo), hi_(hi) {}
+
+Result<OpResult> IndexRangeScanOperator::Next(ExecContext* ctx, Tuple* out) {
+  if (!probed_) {
+    probed_ = true;
+    for (std::uint32_t level = 0; level < index_->height(); ++level) {
+      ctx->account->Touch(PageId{index_->id(), level});
+    }
+    const auto matches = index_->LookupRange(lo_, hi_);
+    const std::uint64_t leaves = index_->LeafPagesForMatches(matches.size());
+    for (std::uint64_t extra = 1; extra < leaves; ++extra) {
+      ctx->account->Touch(PageId{index_->id(), index_->height() + extra});
+    }
+    rows_.reserve(matches.size());
+    for (const auto& entry : matches) rows_.push_back(entry.row);
+    std::sort(rows_.begin(), rows_.end());  // bitmap: physical order
+  }
+  if (pos_ >= rows_.size()) return OpResult::kDone;
+  const storage::RowId row = rows_[pos_++];
+  const std::uint64_t page = table_->PageOfRow(row);
+  if (page != last_heap_page_) {
+    ctx->account->Touch(PageId{table_->id(), page});
+    last_heap_page_ = page;
+  }
+  *out = table_->Get(row);
+  return OpResult::kRow;
+}
+
+std::string IndexRangeScanOperator::name() const {
+  return "IndexRangeScan(" + index_->name() + ", [" + std::to_string(lo_) +
+         ", " + std::to_string(hi_) + "])";
+}
+
+// ---- FilterOperator --------------------------------------------------------
+
+FilterOperator::FilterOperator(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+Result<OpResult> FilterOperator::Next(ExecContext* ctx, Tuple* out) {
+  while (true) {
+    auto step = child_->Next(ctx, out);
+    if (!step.ok()) return step.status();
+    if (*step != OpResult::kRow) return *step;  // done or yield
+    if (predicate_->Eval(*out) != 0.0) return OpResult::kRow;
+    if (ctx->ShouldYield()) return OpResult::kYield;
+  }
+}
+
+std::string FilterOperator::name() const {
+  return "Filter(" + predicate_->ToString() + ")";
+}
+
+// ---- ScalarAggregateOperator -----------------------------------------------
+
+namespace {
+std::string_view AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kCount:
+      return "count";
+    case AggFunc::kSum:
+      return "sum";
+    case AggFunc::kAvg:
+      return "avg";
+    case AggFunc::kMin:
+      return "min";
+    case AggFunc::kMax:
+      return "max";
+  }
+  return "?";
+}
+}  // namespace
+
+ScalarAggregateOperator::ScalarAggregateOperator(OperatorPtr child,
+                                                 AggFunc func, ExprPtr arg)
+    : child_(std::move(child)),
+      func_(func),
+      arg_(std::move(arg)),
+      output_schema_({{std::string(AggFuncName(func)),
+                       storage::ColumnType::kDouble}}) {}
+
+Result<OpResult> ScalarAggregateOperator::Next(ExecContext* ctx, Tuple* out) {
+  if (done_) return OpResult::kDone;
+  Tuple row;
+  while (true) {
+    auto step = child_->Next(ctx, &row);
+    if (!step.ok()) return step.status();
+    if (*step == OpResult::kYield) return OpResult::kYield;
+    if (*step == OpResult::kDone) break;
+    ++count_rows_;
+    if (func_ != AggFunc::kCount) {
+      const double v = arg_->Eval(row);
+      sum_ += v;
+      min_ = std::min(min_, v);
+      max_ = std::max(max_, v);
+    }
+    if (ctx->ShouldYield()) return OpResult::kYield;
+  }
+  done_ = true;
+  const double count = static_cast<double>(count_rows_);
+  double result = 0.0;
+  switch (func_) {
+    case AggFunc::kCount:
+      result = count;
+      break;
+    case AggFunc::kSum:
+      result = sum_;
+      break;
+    case AggFunc::kAvg:
+      result = count > 0.0 ? sum_ / count
+                           : std::numeric_limits<double>::quiet_NaN();
+      break;
+    case AggFunc::kMin:
+      result = count > 0.0 ? min_
+                           : std::numeric_limits<double>::quiet_NaN();
+      break;
+    case AggFunc::kMax:
+      result = count > 0.0 ? max_
+                           : std::numeric_limits<double>::quiet_NaN();
+      break;
+  }
+  *out = Tuple({Value{result}});
+  return OpResult::kRow;
+}
+
+std::string ScalarAggregateOperator::name() const {
+  return std::string(AggFuncName(func_)) + "(" +
+         (func_ == AggFunc::kCount ? "*" : arg_->ToString()) + ")";
+}
+
+// ---- TopNOperator ------------------------------------------------------------
+
+TopNOperator::TopNOperator(OperatorPtr child, ExprPtr key, bool descending,
+                           std::size_t limit)
+    : child_(std::move(child)),
+      key_(std::move(key)),
+      descending_(descending),
+      limit_(limit) {}
+
+bool TopNOperator::Before(const Item& a, const Item& b) const {
+  if (a.key != b.key) return descending_ ? a.key > b.key : a.key < b.key;
+  return a.seq < b.seq;  // stable: earlier rows win ties
+}
+
+Result<OpResult> TopNOperator::Next(ExecContext* ctx, Tuple* out) {
+  // The heap keeps the current *worst* retained row at the front, so a
+  // new row replaces it cheaply when it sorts earlier.
+  auto worse_first = [this](const Item& a, const Item& b) {
+    return Before(a, b);  // make_heap: "less" puts the worst at front
+  };
+  while (!input_done_) {
+    Tuple row;
+    auto step = child_->Next(ctx, &row);
+    if (!step.ok()) return step.status();
+    if (*step == OpResult::kYield) return OpResult::kYield;
+    if (*step == OpResult::kDone) {
+      input_done_ = true;
+      sorted_ = std::move(heap_);
+      std::sort(sorted_.begin(), sorted_.end(),
+                [this](const Item& a, const Item& b) { return Before(a, b); });
+      break;
+    }
+    ++rows_consumed_;
+    Item item{key_->Eval(row), rows_consumed_, std::move(row)};
+    if (limit_ > 0) {
+      if (heap_.size() < limit_) {
+        heap_.push_back(std::move(item));
+        std::push_heap(heap_.begin(), heap_.end(), worse_first);
+      } else if (Before(item, heap_.front())) {
+        std::pop_heap(heap_.begin(), heap_.end(), worse_first);
+        heap_.back() = std::move(item);
+        std::push_heap(heap_.begin(), heap_.end(), worse_first);
+      }
+    }
+    pending_rows_ += 1.0;
+    if (pending_rows_ >= HashJoinOperator::kRowsPerUnit) {
+      ctx->account->Charge(pending_rows_ / HashJoinOperator::kRowsPerUnit);
+      pending_rows_ = 0.0;
+    }
+    if (ctx->ShouldYield()) return OpResult::kYield;
+  }
+  if (emit_pos_ >= sorted_.size()) return OpResult::kDone;
+  *out = sorted_[emit_pos_++].tuple;
+  return OpResult::kRow;
+}
+
+std::string TopNOperator::name() const {
+  return "TopN(" + key_->ToString() + (descending_ ? " desc" : " asc") +
+         ", limit " + std::to_string(limit_) + ")";
+}
+
+// ---- HashGroupByOperator -----------------------------------------------------
+
+HashGroupByOperator::HashGroupByOperator(OperatorPtr child,
+                                         std::size_t group_column,
+                                         AggFunc func, ExprPtr arg)
+    : child_(std::move(child)),
+      group_column_(group_column),
+      func_(func),
+      arg_(std::move(arg)),
+      output_schema_(
+          {{child_->output_schema().column(group_column).name,
+            storage::ColumnType::kInt64},
+           {std::string(AggFuncName(func)), storage::ColumnType::kDouble}}) {}
+
+double HashGroupByOperator::Finalize(const Cell& cell) const {
+  switch (func_) {
+    case AggFunc::kCount:
+      return cell.count;
+    case AggFunc::kSum:
+      return cell.sum;
+    case AggFunc::kAvg:
+      return cell.count > 0.0
+                 ? cell.sum / cell.count
+                 : std::numeric_limits<double>::quiet_NaN();
+    case AggFunc::kMin:
+      return cell.min;
+    case AggFunc::kMax:
+      return cell.max;
+  }
+  return 0.0;
+}
+
+Result<OpResult> HashGroupByOperator::Next(ExecContext* ctx, Tuple* out) {
+  while (!input_done_) {
+    Tuple row;
+    auto step = child_->Next(ctx, &row);
+    if (!step.ok()) return step.status();
+    if (*step == OpResult::kYield) return OpResult::kYield;
+    if (*step == OpResult::kDone) {
+      input_done_ = true;
+      emit_order_.reserve(groups_.size());
+      for (const auto& [key, cell] : groups_) emit_order_.push_back(key);
+      std::sort(emit_order_.begin(), emit_order_.end());
+      break;
+    }
+    ++rows_consumed_;
+    Cell& cell = groups_[storage::AsInt(row.at(group_column_))];
+    cell.count += 1.0;
+    if (func_ != AggFunc::kCount) {
+      const double v = arg_->Eval(row);
+      cell.sum += v;
+      cell.min = std::min(cell.min, v);
+      cell.max = std::max(cell.max, v);
+    }
+    pending_hash_rows_ += 1.0;
+    if (pending_hash_rows_ >= HashJoinOperator::kRowsPerUnit) {
+      ctx->account->Charge(pending_hash_rows_ /
+                           HashJoinOperator::kRowsPerUnit);
+      pending_hash_rows_ = 0.0;
+    }
+    if (ctx->ShouldYield()) return OpResult::kYield;
+  }
+  if (emit_pos_ >= emit_order_.size()) return OpResult::kDone;
+  const std::int64_t key = emit_order_[emit_pos_++];
+  *out = Tuple({Value{key}, Value{Finalize(groups_.at(key))}});
+  return OpResult::kRow;
+}
+
+std::string HashGroupByOperator::name() const {
+  return "HashGroupBy(" +
+         child_->output_schema().column(group_column_).name + ", " +
+         std::string(AggFuncName(func_)) + ")";
+}
+
+// ---- HashJoinOperator --------------------------------------------------------
+
+HashJoinOperator::HashJoinOperator(OperatorPtr build,
+                                   std::size_t build_key_column,
+                                   OperatorPtr probe,
+                                   std::size_t probe_key_column)
+    : build_(std::move(build)),
+      build_key_(build_key_column),
+      probe_(std::move(probe)),
+      probe_key_(probe_key_column) {
+  std::vector<storage::Column> cols = probe_->output_schema().columns();
+  for (const auto& c : build_->output_schema().columns()) {
+    cols.push_back({"build_" + c.name, c.type});
+  }
+  output_schema_ = storage::Schema(std::move(cols));
+}
+
+void HashJoinOperator::ChargeHashWork(ExecContext* ctx, double rows) {
+  pending_hash_rows_ += rows;
+  if (pending_hash_rows_ >= kRowsPerUnit) {
+    const double units = pending_hash_rows_ / kRowsPerUnit;
+    ctx->account->Charge(units);
+    pending_hash_rows_ = 0.0;
+  }
+}
+
+Result<OpResult> HashJoinOperator::Next(ExecContext* ctx,
+                                        storage::Tuple* out) {
+  // Phase 1: drain the build side into the hash table.
+  while (!build_done_) {
+    Tuple row;
+    auto step = build_->Next(ctx, &row);
+    if (!step.ok()) return step.status();
+    if (*step == OpResult::kYield) return OpResult::kYield;
+    if (*step == OpResult::kDone) {
+      build_done_ = true;
+      break;
+    }
+    table_[storage::AsInt(row.at(build_key_))].push_back(std::move(row));
+    ChargeHashWork(ctx, 1.0);
+    if (ctx->ShouldYield()) return OpResult::kYield;
+  }
+
+  // Phase 2: stream the probe side.
+  while (true) {
+    if (matches_ != nullptr && match_pos_ < matches_->size()) {
+      std::vector<Value> values = current_probe_.values();
+      const Tuple& build_row = (*matches_)[match_pos_++];
+      for (const Value& v : build_row.values()) values.push_back(v);
+      *out = Tuple(std::move(values));
+      return OpResult::kRow;
+    }
+    matches_ = nullptr;
+    if (ctx->ShouldYield()) return OpResult::kYield;
+    auto step = probe_->Next(ctx, &current_probe_);
+    if (!step.ok()) return step.status();
+    if (*step != OpResult::kRow) return *step;  // done or yield
+    ++probe_rows_;
+    ChargeHashWork(ctx, 1.0);
+    auto it = table_.find(storage::AsInt(current_probe_.at(probe_key_)));
+    if (it != table_.end()) {
+      matches_ = &it->second;
+      match_pos_ = 0;
+    }
+  }
+}
+
+std::string HashJoinOperator::name() const {
+  return "HashJoin(" + build_->name() + " x " + probe_->name() + ")";
+}
+
+// ---- CorrelatedSubqueryFilter ----------------------------------------------
+
+CorrelatedSubqueryFilter::CorrelatedSubqueryFilter(
+    OperatorPtr outer, std::size_t outer_key_column,
+    const storage::Index* inner_index, const storage::Table* inner_table,
+    std::size_t agg_numerator_column, std::size_t agg_denominator_column,
+    ExprPtr predicate)
+    : outer_(std::move(outer)),
+      outer_key_column_(outer_key_column),
+      inner_index_(inner_index),
+      inner_table_(inner_table),
+      num_column_(agg_numerator_column),
+      den_column_(agg_denominator_column),
+      predicate_(std::move(predicate)) {
+  std::vector<storage::Column> cols = outer_->output_schema().columns();
+  cols.push_back({"subquery", storage::ColumnType::kDouble});
+  output_schema_ = storage::Schema(std::move(cols));
+}
+
+Result<OpResult> CorrelatedSubqueryFilter::Next(ExecContext* ctx, Tuple* out) {
+  Tuple outer_row;
+  while (true) {
+    if (ctx->ShouldYield()) return OpResult::kYield;
+    auto step = outer_->Next(ctx, &outer_row);
+    if (!step.ok()) return step.status();
+    if (*step != OpResult::kRow) return *step;  // done or yield
+    ++outer_processed_;
+
+    const std::int64_t key = storage::AsInt(outer_row.at(outer_key_column_));
+
+    // Index descent: root-to-leaf pages.
+    for (std::uint32_t level = 0; level < inner_index_->height(); ++level) {
+      ctx->account->Touch(PageId{inner_index_->id(), level});
+    }
+    const auto matches = inner_index_->Lookup(key);
+    const std::uint64_t leaves =
+        inner_index_->LeafPagesForMatches(matches.size());
+    for (std::uint64_t extra = 1; extra < leaves; ++extra) {
+      ctx->account->Touch(
+          PageId{inner_index_->id(), inner_index_->height() + extra});
+    }
+
+    // Visit the distinct heap pages of the matching rows and aggregate.
+    probe_pages_.clear();
+    double num_sum = 0.0;
+    double den_sum = 0.0;
+    for (const auto& entry : matches) {
+      const std::uint64_t page = inner_table_->PageOfRow(entry.row);
+      if (std::find(probe_pages_.begin(), probe_pages_.end(), page) ==
+          probe_pages_.end()) {
+        probe_pages_.push_back(page);
+        ctx->account->Touch(PageId{inner_table_->id(), page});
+      }
+      const Tuple& inner_row = inner_table_->Get(entry.row);
+      num_sum += storage::AsDouble(inner_row.at(num_column_));
+      den_sum += storage::AsDouble(inner_row.at(den_column_));
+    }
+    const double sub =
+        (matches.empty() || den_sum == 0.0)
+            ? std::numeric_limits<double>::quiet_NaN()
+            : num_sum / den_sum;
+
+    std::vector<Value> values = outer_row.values();
+    values.emplace_back(sub);
+    Tuple candidate(std::move(values));
+    if (predicate_->Eval(candidate) != 0.0) {
+      *out = std::move(candidate);
+      return OpResult::kRow;
+    }
+  }
+}
+
+std::string CorrelatedSubqueryFilter::name() const {
+  return "CorrelatedSubqueryFilter(" + inner_index_->name() + ")";
+}
+
+}  // namespace mqpi::engine

@@ -1,0 +1,345 @@
+// Physical operators: pull-based iterators that charge every page they
+// touch to the query's BufferAccount, and that cooperatively yield when
+// the scheduler's work-unit budget for the current quantum is used up.
+//
+// Next() is tri-state:
+//   kRow   - *out holds the next output tuple
+//   kDone  - stream exhausted
+//   kYield - budget exhausted mid-stream; call again later to resume
+//
+// Blocking operators (ScalarAggregate) keep their partial state across
+// yields, so a long aggregation is spread over many scheduler quanta —
+// exactly how a real engine's progress accrues.
+//
+// Operators implemented:
+//   SeqScanOperator             - heap scan, 1 U per heap page
+//   IndexScanOperator           - point lookup, height + leaf + heap U's
+//   FilterOperator              - predicate on child output (CPU-only)
+//   ScalarAggregateOperator     - COUNT/SUM/AVG/MIN/MAX over child
+//   CorrelatedSubqueryFilter    - the paper's Q_i shape: for each outer
+//                                 tuple run an index-aggregate sub-query
+//                                 and keep the tuple iff the predicate
+//                                 over (outer columns, sub-query result)
+//                                 holds
+#pragma once
+
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "engine/expr.h"
+#include "storage/buffer_manager.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace mqpi::engine {
+
+enum class OpResult { kRow, kDone, kYield };
+
+/// Shared execution state for one query.
+struct ExecContext {
+  storage::BufferAccount* account = nullptr;
+  /// Operators yield once account->charged() reaches this threshold.
+  WorkUnits yield_at = std::numeric_limits<double>::infinity();
+
+  bool ShouldYield() const { return account->charged() >= yield_at; }
+};
+
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Advances the stream; see OpResult above. Page work is charged to
+  /// ctx->account as a side effect.
+  virtual Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) = 0;
+
+  /// Operator name for EXPLAIN-style rendering.
+  virtual std::string name() const = 0;
+
+  /// Output schema.
+  virtual const storage::Schema& output_schema() const = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+class SeqScanOperator final : public Operator {
+ public:
+  explicit SeqScanOperator(const storage::Table* table);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return table_->schema();
+  }
+
+  /// Rows produced so far (drives cost refinement).
+  std::uint64_t rows_emitted() const { return row_; }
+
+ private:
+  const storage::Table* table_;
+  storage::RowId row_ = 0;
+  std::uint64_t last_page_ = ~std::uint64_t{0};
+};
+
+class IndexScanOperator final : public Operator {
+ public:
+  /// Emits all heap tuples of `table` whose indexed key equals `key`.
+  IndexScanOperator(const storage::Index* index, const storage::Table* table,
+                    std::int64_t key);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return table_->schema();
+  }
+
+ private:
+  const storage::Index* index_;
+  const storage::Table* table_;
+  std::int64_t key_;
+  bool probed_ = false;
+  std::span<const storage::Index::Entry> matches_;
+  std::size_t pos_ = 0;
+};
+
+/// Bitmap-style range scan through the index: collects the row ids of
+/// all entries with key in [lo, hi], sorts them into physical (heap)
+/// order, and emits tuples page by page — so each heap page is touched
+/// exactly once, like PostgreSQL's bitmap heap scan. Charges the index
+/// descent, the leaf pages the range spans, and each distinct heap
+/// page. Output order is physical, not key, order.
+class IndexRangeScanOperator final : public Operator {
+ public:
+  IndexRangeScanOperator(const storage::Index* index,
+                         const storage::Table* table, std::int64_t lo,
+                         std::int64_t hi);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return table_->schema();
+  }
+
+  std::uint64_t rows_emitted() const { return pos_; }
+
+ private:
+  const storage::Index* index_;
+  const storage::Table* table_;
+  std::int64_t lo_;
+  std::int64_t hi_;
+  bool probed_ = false;
+  std::vector<storage::RowId> rows_;  // physical order
+  std::size_t pos_ = 0;
+  std::uint64_t last_heap_page_ = ~std::uint64_t{0};
+};
+
+class FilterOperator final : public Operator {
+ public:
+  FilterOperator(OperatorPtr child, ExprPtr predicate);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+enum class AggFunc { kCount, kSum, kAvg, kMin, kMax };
+
+class ScalarAggregateOperator final : public Operator {
+ public:
+  /// Aggregates `arg` (ignored for kCount) over all child tuples and
+  /// emits exactly one single-column tuple. Yields cooperatively, so
+  /// partial aggregation state survives across scheduler quanta.
+  ScalarAggregateOperator(OperatorPtr child, AggFunc func, ExprPtr arg);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return output_schema_;
+  }
+
+  /// Input rows consumed so far (drives cost refinement).
+  std::uint64_t rows_consumed() const { return count_rows_; }
+
+ private:
+  OperatorPtr child_;
+  AggFunc func_;
+  ExprPtr arg_;
+  storage::Schema output_schema_;
+  bool done_ = false;
+  std::uint64_t count_rows_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Top-N: keeps the `limit` child rows with the largest (descending) or
+/// smallest (ascending) sort-key values in a bounded heap while the
+/// child drains (cooperatively), then emits them in sort order.
+/// Heap maintenance charges one CPU work unit per
+/// HashJoinOperator::kRowsPerUnit input rows.
+class TopNOperator final : public Operator {
+ public:
+  TopNOperator(OperatorPtr child, ExprPtr key, bool descending,
+               std::size_t limit);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  std::uint64_t rows_consumed() const { return rows_consumed_; }
+
+ private:
+  struct Item {
+    double key;
+    std::uint64_t seq;  // stable tie-break (arrival order)
+    storage::Tuple tuple;
+  };
+  bool Before(const Item& a, const Item& b) const;  // a sorts before b
+
+  OperatorPtr child_;
+  ExprPtr key_;
+  bool descending_;
+  std::size_t limit_;
+  bool input_done_ = false;
+  std::uint64_t rows_consumed_ = 0;
+  double pending_rows_ = 0.0;
+  std::vector<Item> heap_;     // worst-at-front heap while draining
+  std::vector<Item> sorted_;   // final emission order
+  std::size_t emit_pos_ = 0;
+};
+
+/// Hash GROUP BY over an int64 grouping column: accumulates one
+/// (count, sum, min, max) cell per group while draining the child
+/// (cooperatively), then emits one row per group in ascending key order
+/// — output schema is (group column, aggregate). Hashing charges one
+/// CPU work unit per HashJoinOperator::kRowsPerUnit input rows.
+class HashGroupByOperator final : public Operator {
+ public:
+  HashGroupByOperator(OperatorPtr child, std::size_t group_column,
+                      AggFunc func, ExprPtr arg);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return output_schema_;
+  }
+
+  /// Input rows consumed so far (drives cost refinement).
+  std::uint64_t rows_consumed() const { return rows_consumed_; }
+  std::size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Cell {
+    double count = 0.0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  double Finalize(const Cell& cell) const;
+
+  OperatorPtr child_;
+  std::size_t group_column_;
+  AggFunc func_;
+  ExprPtr arg_;
+  storage::Schema output_schema_;
+  bool input_done_ = false;
+  std::uint64_t rows_consumed_ = 0;
+  double pending_hash_rows_ = 0.0;
+  std::unordered_map<std::int64_t, Cell> groups_;
+  std::vector<std::int64_t> emit_order_;  // filled when input completes
+  std::size_t emit_pos_ = 0;
+};
+
+/// Hash equi-join on int64 keys. The build side is drained into an
+/// in-memory hash table first (cooperatively, so a large build spreads
+/// over many quanta), then the probe side streams and emits one output
+/// tuple per match (probe columns followed by build columns). Build
+/// rows are charged through the child's own page touches; the hash
+/// table itself charges one CPU work unit per `rows_per_unit` rows
+/// inserted or probed, approximating hashing cost at page granularity.
+class HashJoinOperator final : public Operator {
+ public:
+  HashJoinOperator(OperatorPtr build, std::size_t build_key_column,
+                   OperatorPtr probe, std::size_t probe_key_column);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return output_schema_;
+  }
+
+  /// Probe-side rows consumed so far (drives cost refinement).
+  std::uint64_t probe_rows_processed() const { return probe_rows_; }
+  bool build_done() const { return build_done_; }
+
+  /// Rows hashed/probed per charged CPU work unit.
+  static constexpr double kRowsPerUnit = 64.0;
+
+ private:
+  void ChargeHashWork(ExecContext* ctx, double rows);
+
+  OperatorPtr build_;
+  std::size_t build_key_;
+  OperatorPtr probe_;
+  std::size_t probe_key_;
+  storage::Schema output_schema_;
+  bool build_done_ = false;
+  std::unordered_map<std::int64_t, std::vector<storage::Tuple>> table_;
+  std::uint64_t probe_rows_ = 0;
+  double pending_hash_rows_ = 0.0;
+  // Current probe row's remaining matches.
+  storage::Tuple current_probe_;
+  const std::vector<storage::Tuple>* matches_ = nullptr;
+  std::size_t match_pos_ = 0;
+};
+
+/// The paper's query template:
+///
+///   select * from part_i p
+///   where p.retailprice * 0.75 >
+///         (select sum(l.extendedprice) / sum(l.quantity)
+///          from lineitem l where l.partkey = p.partkey)
+///
+/// For each outer tuple: probe the index (height + leaf pages), visit
+/// the distinct heap pages holding the matches, aggregate, then apply
+/// `predicate` to the outer tuple extended with one extra column
+/// "subquery" holding the aggregate result (NaN when no matches, which
+/// fails every comparison, matching SQL's NULL semantics here).
+class CorrelatedSubqueryFilter final : public Operator {
+ public:
+  CorrelatedSubqueryFilter(OperatorPtr outer, std::size_t outer_key_column,
+                           const storage::Index* inner_index,
+                           const storage::Table* inner_table,
+                           std::size_t agg_numerator_column,
+                           std::size_t agg_denominator_column,
+                           ExprPtr predicate);
+  Result<OpResult> Next(ExecContext* ctx, storage::Tuple* out) override;
+  std::string name() const override;
+  const storage::Schema& output_schema() const override {
+    return output_schema_;
+  }
+
+  /// Outer tuples consumed so far (drives cost refinement).
+  std::uint64_t outer_rows_processed() const { return outer_processed_; }
+
+ private:
+  OperatorPtr outer_;
+  std::size_t outer_key_column_;
+  const storage::Index* inner_index_;
+  const storage::Table* inner_table_;
+  std::size_t num_column_;
+  std::size_t den_column_;
+  ExprPtr predicate_;
+  storage::Schema output_schema_;
+  std::uint64_t outer_processed_ = 0;
+  // Scratch set of heap pages per probe, kept across calls to avoid
+  // reallocating in the inner loop.
+  std::vector<std::uint64_t> probe_pages_;
+};
+
+}  // namespace mqpi::engine

@@ -1,0 +1,105 @@
+#include "engine/query_execution.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mqpi::engine {
+
+// ---- OperatorQueryExecution ------------------------------------------------
+
+OperatorQueryExecution::OperatorQueryExecution(
+    OperatorPtr root, storage::BufferManager* buffers, DriverModel driver,
+    WorkUnits initial_cost_estimate)
+    : root_(std::move(root)),
+      account_(buffers),
+      driver_(std::move(driver)),
+      initial_estimate_(initial_cost_estimate) {
+  ctx_.account = &account_;
+}
+
+WorkUnits OperatorQueryExecution::Advance(WorkUnits budget) {
+  if (done_) return 0.0;
+  const WorkUnits start = account_.charged();
+  ctx_.yield_at = start + budget;
+  storage::Tuple row;
+  while (account_.charged() - start < budget) {
+    auto step = root_->Next(&ctx_, &row);
+    if (!step.ok()) {
+      status_ = step.status();
+      done_ = true;
+      break;
+    }
+    if (*step == OpResult::kDone) {
+      done_ = true;
+      break;
+    }
+    if (*step == OpResult::kYield) break;
+    ++rows_;
+  }
+  return account_.charged() - start;
+}
+
+WorkUnits OperatorQueryExecution::EstimateRemainingCost() const {
+  if (done_) return 0.0;
+  const std::uint64_t k = driver_.processed ? driver_.processed() : 0;
+  const std::uint64_t total = driver_.total_rows;
+  if (total == 0) {
+    return std::max(0.0, initial_estimate_ - completed_work());
+  }
+  const std::uint64_t remaining_rows = total > k ? total - k : 0;
+  if (k == 0) {
+    return static_cast<double>(remaining_rows) * driver_.prior_cost_per_row;
+  }
+  // Blend the optimizer's per-row prior with the observed per-row cost;
+  // the prior's weight decays as more of the query has been watched.
+  const double observed_per_row =
+      completed_work() / static_cast<double>(k);
+  const double f = static_cast<double>(k) / static_cast<double>(total);
+  const double per_row =
+      (1.0 - f) * driver_.prior_cost_per_row + f * observed_per_row;
+  // Observed statistics dominate once a meaningful prefix has run: cap
+  // the prior's influence using the observed value as anchor.
+  const double anchored =
+      k >= 16 ? 0.5 * per_row + 0.5 * observed_per_row : per_row;
+  return static_cast<double>(remaining_rows) * anchored;
+}
+
+std::string OperatorQueryExecution::DebugString() const {
+  std::ostringstream os;
+  os << "OperatorQueryExecution{root=" << root_->name()
+     << ", completed=" << completed_work()
+     << ", est_remaining=" << EstimateRemainingCost()
+     << ", rows=" << rows_ << (done_ ? ", done" : "") << "}";
+  return os.str();
+}
+
+// ---- SyntheticQueryExecution -----------------------------------------------
+
+SyntheticQueryExecution::SyntheticQueryExecution(WorkUnits true_cost,
+                                                 WorkUnits estimated_cost)
+    : true_cost_(std::max(0.0, true_cost)),
+      estimate_(std::max(0.0, estimated_cost)) {}
+
+WorkUnits SyntheticQueryExecution::Advance(WorkUnits budget) {
+  const WorkUnits step = std::min(budget, true_cost_ - completed_);
+  completed_ += std::max(0.0, step);
+  return std::max(0.0, step);
+}
+
+WorkUnits SyntheticQueryExecution::EstimateRemainingCost() const {
+  if (done()) return 0.0;
+  // Total-cost belief converges linearly from the optimizer estimate to
+  // the true cost as execution proceeds (statistics sharpen over time).
+  const double f = true_cost_ > 0.0 ? completed_ / true_cost_ : 1.0;
+  const double believed_total = (1.0 - f) * estimate_ + f * true_cost_;
+  return std::max(0.0, believed_total - completed_);
+}
+
+std::string SyntheticQueryExecution::DebugString() const {
+  std::ostringstream os;
+  os << "SyntheticQueryExecution{true=" << true_cost_
+     << ", est=" << estimate_ << ", completed=" << completed_ << "}";
+  return os.str();
+}
+
+}  // namespace mqpi::engine

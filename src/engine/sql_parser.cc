@@ -1,0 +1,402 @@
+#include "engine/sql_parser.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace mqpi::engine {
+
+namespace internal {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < sql.size() && IsIdentChar(sql[j])) ++j;
+      token.kind = TokenKind::kIdentifier;
+      token.text.reserve(j - i);
+      for (std::size_t k = i; k < j; ++k) {
+        token.text.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(sql[k]))));
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < sql.size() &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      std::size_t j = i;
+      bool seen_dot = false;
+      while (j < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+              (sql[j] == '.' && !seen_dot))) {
+        if (sql[j] == '.') seen_dot = true;
+        ++j;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = std::string(sql.substr(i, j - i));
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      i = j;
+    } else {
+      switch (c) {
+        case '*':
+          token.kind = TokenKind::kStar;
+          break;
+        case ',':
+          token.kind = TokenKind::kComma;
+          break;
+        case '(':
+          token.kind = TokenKind::kLParen;
+          break;
+        case ')':
+          token.kind = TokenKind::kRParen;
+          break;
+        case '.':
+          token.kind = TokenKind::kDot;
+          break;
+        case '>':
+          token.kind = TokenKind::kGt;
+          break;
+        case '=':
+          token.kind = TokenKind::kEq;
+          break;
+        case '/':
+          token.kind = TokenKind::kDiv;
+          break;
+        default:
+          return Status::InvalidArgument(
+              "unexpected character '" + std::string(1, c) + "' at offset " +
+              std::to_string(i));
+      }
+      token.text = std::string(1, c);
+      ++i;
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.position = sql.size();
+  tokens.push_back(end);
+  // '*' doubles as multiplication; disambiguate later by context.
+  return tokens;
+}
+
+}  // namespace internal
+
+namespace {
+
+using internal::Token;
+using internal::TokenKind;
+
+/// Recursive-descent cursor over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QuerySpec> ParseStatement() {
+    MQPI_RETURN_NOT_OK(ExpectKeyword("select"));
+    if (Peek().kind == TokenKind::kStar) {
+      // SELECT * is either the paper's correlated template or a
+      // TopN (ORDER BY ... LIMIT) query; ParseSelectStar decides.
+      Advance();
+      return ParseSelectStar();
+    }
+    return ParseAggregateQuery();
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().position));
+  }
+
+  bool PeekKeyword(std::string_view word, std::size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier && t.text == word;
+  }
+
+  Status ExpectKeyword(std::string_view word) {
+    if (!PeekKeyword(word)) {
+      return Error("expected '" + std::string(word) + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) return Error(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error(std::string("expected ") + what);
+    }
+    return Advance().text;
+  }
+
+  /// Parses `[alias .] column`, returning the column name.
+  Result<std::string> ParseColumnRef() {
+    auto first = ExpectIdentifier("column name");
+    if (!first.ok()) return first.status();
+    if (Peek().kind == TokenKind::kDot) {
+      Advance();
+      return ExpectIdentifier("column name after '.'");
+    }
+    return first;
+  }
+
+  Result<std::pair<AggFunc, std::string>> ParseAggregate() {
+    auto name = ExpectIdentifier("aggregate function");
+    if (!name.ok()) return name.status();
+    AggFunc func;
+    if (*name == "count") {
+      func = AggFunc::kCount;
+    } else if (*name == "sum") {
+      func = AggFunc::kSum;
+    } else if (*name == "avg") {
+      func = AggFunc::kAvg;
+    } else if (*name == "min") {
+      func = AggFunc::kMin;
+    } else if (*name == "max") {
+      func = AggFunc::kMax;
+    } else {
+      return Error("unknown aggregate '" + *name + "'");
+    }
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    std::string column;
+    if (func == AggFunc::kCount && Peek().kind == TokenKind::kStar) {
+      Advance();
+    } else {
+      auto col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      column = *col;
+    }
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return std::make_pair(func, column);
+  }
+
+  Result<QuerySpec> ParseAggregateQuery() {
+    // "SELECT col, AGG(...) ... GROUP BY col" — a leading identifier
+    // followed by a comma marks the group-by form.
+    std::string group_column;
+    const bool plain_group = Peek().kind == TokenKind::kIdentifier &&
+                             Peek(1).kind == TokenKind::kComma;
+    const bool qualified_group = Peek().kind == TokenKind::kIdentifier &&
+                                 Peek(1).kind == TokenKind::kDot &&
+                                 Peek(2).kind == TokenKind::kIdentifier &&
+                                 Peek(3).kind == TokenKind::kComma;
+    if (plain_group || qualified_group) {
+      auto col = ParseColumnRef();
+      if (!col.ok()) return col.status();
+      group_column = *col;
+      MQPI_RETURN_NOT_OK(Expect(TokenKind::kComma, "','"));
+    }
+    auto agg = ParseAggregate();
+    if (!agg.ok()) return agg.status();
+    MQPI_RETURN_NOT_OK(ExpectKeyword("from"));
+    auto table = ExpectIdentifier("table name");
+    if (!table.ok()) return table.status();
+    // Optional alias (not a keyword that can follow the table).
+    if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("join") &&
+        !PeekKeyword("where") && !PeekKeyword("group")) {
+      Advance();
+    }
+
+    if (PeekKeyword("join")) {
+      Advance();
+      auto probe = ExpectIdentifier("probe table");
+      if (!probe.ok()) return probe.status();
+      if (*probe != "lineitem") {
+        return Error("the probe side of a join must be lineitem");
+      }
+      if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("on")) {
+        Advance();  // alias
+      }
+      MQPI_RETURN_NOT_OK(ExpectKeyword("on"));
+      auto left = ParseColumnRef();
+      if (!left.ok()) return left.status();
+      MQPI_RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+      auto right = ParseColumnRef();
+      if (!right.ok()) return right.status();
+      if (*left != "partkey" || *right != "partkey") {
+        return Error("joins must be on partkey = partkey");
+      }
+      if (!AtEnd()) return Error("unexpected trailing input");
+      return QuerySpec::JoinAggregate(*table, agg->first, agg->second);
+    }
+
+    QuerySpec spec =
+        group_column.empty()
+            ? QuerySpec::ScanAggregate(*table, agg->first, agg->second)
+            : QuerySpec::GroupByAggregate(*table, group_column, agg->first,
+                                          agg->second);
+    if (PeekKeyword("where")) {
+      Advance();
+      auto column = ParseColumnRef();
+      if (!column.ok()) return column.status();
+      MQPI_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+      if (Peek().kind != TokenKind::kNumber) return Error("expected number");
+      spec.WithFilter(*column, Advance().number);
+    }
+    if (!group_column.empty()) {
+      MQPI_RETURN_NOT_OK(ExpectKeyword("group"));
+      MQPI_RETURN_NOT_OK(ExpectKeyword("by"));
+      auto by = ParseColumnRef();
+      if (!by.ok()) return by.status();
+      if (*by != group_column) {
+        return Error("GROUP BY column must match the selected column '" +
+                     group_column + "'");
+      }
+    } else if (PeekKeyword("group")) {
+      return Error("GROUP BY requires the grouping column in the select "
+                   "list (select col, agg(...) ...)");
+    }
+    if (!AtEnd()) return Error("unexpected trailing input");
+    return spec;
+  }
+
+  /// Shared head for SELECT *: FROM table [alias], then dispatch on
+  /// what follows — ORDER BY (TopN), WHERE col > num [ORDER BY] (TopN
+  /// with filter), or the paper's correlated-template predicate.
+  Result<QuerySpec> ParseSelectStar() {
+    MQPI_RETURN_NOT_OK(ExpectKeyword("from"));
+    auto table = ExpectIdentifier("table name");
+    if (!table.ok()) return table.status();
+    if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("where") &&
+        !PeekKeyword("order")) {
+      Advance();  // alias
+    }
+    if (PeekKeyword("order")) {
+      return ParseTopNTail(*table, /*filter_column=*/"",
+                           /*filter_threshold=*/0.0, /*has_filter=*/false);
+    }
+    MQPI_RETURN_NOT_OK(ExpectKeyword("where"));
+    auto column = ParseColumnRef();
+    if (!column.ok()) return column.status();
+    if (Peek().kind == TokenKind::kGt) {
+      // TopN filter: WHERE col > number ORDER BY ... LIMIT n.
+      Advance();
+      if (Peek().kind != TokenKind::kNumber) return Error("expected number");
+      const double threshold = Advance().number;
+      return ParseTopNTail(*table, *column, threshold, /*has_filter=*/true);
+    }
+    return ParseTpcrTemplate(*table, *column);
+  }
+
+  /// ORDER BY col [DESC|ASC] LIMIT n.
+  Result<QuerySpec> ParseTopNTail(const std::string& table,
+                                  const std::string& filter_column,
+                                  double filter_threshold, bool has_filter) {
+    MQPI_RETURN_NOT_OK(ExpectKeyword("order"));
+    MQPI_RETURN_NOT_OK(ExpectKeyword("by"));
+    auto column = ParseColumnRef();
+    if (!column.ok()) return column.status();
+    bool descending = false;
+    if (PeekKeyword("desc")) {
+      descending = true;
+      Advance();
+    } else if (PeekKeyword("asc")) {
+      Advance();
+    }
+    MQPI_RETURN_NOT_OK(ExpectKeyword("limit"));
+    if (Peek().kind != TokenKind::kNumber) return Error("expected limit");
+    const double limit = Advance().number;
+    if (limit < 1.0 || limit != std::floor(limit)) {
+      return Error("limit must be a positive integer");
+    }
+    if (!AtEnd()) return Error("unexpected trailing input");
+    QuerySpec spec = QuerySpec::TopN(table, *column, descending,
+                                     static_cast<std::size_t>(limit));
+    if (has_filter) spec.WithFilter(filter_column, filter_threshold);
+    return spec;
+  }
+
+  /// ... WHERE p.retailprice * 0.75 >
+  ///   (SELECT SUM(l.extendedprice) / SUM(l.quantity) FROM lineitem l
+  ///    WHERE l.partkey = p.partkey)
+  /// The caller already consumed FROM <table> [alias] WHERE <column>.
+  Result<QuerySpec> ParseTpcrTemplate(const std::string& table,
+                                      const std::string& price_column) {
+    if (price_column != "retailprice") {
+      return Error("the template predicate must use retailprice");
+    }
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kStar, "'*'"));
+    if (Peek().kind != TokenKind::kNumber || Peek().number != 0.75) {
+      return Error("the template multiplier must be 0.75");
+    }
+    Advance();
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kGt, "'>'"));
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kLParen, "'('"));
+    MQPI_RETURN_NOT_OK(ExpectKeyword("select"));
+    auto num = ParseAggregate();
+    if (!num.ok()) return num.status();
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kDiv, "'/'"));
+    auto den = ParseAggregate();
+    if (!den.ok()) return den.status();
+    if (num->first != AggFunc::kSum || den->first != AggFunc::kSum ||
+        num->second != "extendedprice" || den->second != "quantity") {
+      return Error(
+          "the sub-query must be sum(extendedprice) / sum(quantity)");
+    }
+    MQPI_RETURN_NOT_OK(ExpectKeyword("from"));
+    auto inner = ExpectIdentifier("inner table");
+    if (!inner.ok()) return inner.status();
+    if (*inner != "lineitem") {
+      return Error("the sub-query must scan lineitem");
+    }
+    if (Peek().kind == TokenKind::kIdentifier && !PeekKeyword("where")) {
+      Advance();  // alias
+    }
+    MQPI_RETURN_NOT_OK(ExpectKeyword("where"));
+    auto left = ParseColumnRef();
+    if (!left.ok()) return left.status();
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kEq, "'='"));
+    auto right = ParseColumnRef();
+    if (!right.ok()) return right.status();
+    if (*left != "partkey" || *right != "partkey") {
+      return Error("the correlation must be partkey = partkey");
+    }
+    MQPI_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    if (!AtEnd()) return Error("unexpected trailing input");
+    return QuerySpec::TpcrPartPrice(table);
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QuerySpec> ParseSql(std::string_view sql) {
+  auto tokens = internal::Tokenize(sql);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace mqpi::engine

@@ -1,0 +1,65 @@
+// A small SQL front end for the query shapes the engine executes.
+//
+// Supported grammar (case-insensitive keywords):
+//
+//   scan aggregate:
+//     SELECT COUNT(*) | SUM(col) | AVG(col) | MIN(col) | MAX(col)
+//     FROM table [WHERE col > number]
+//
+//   join aggregate (the build side must be a part table, the probe side
+//   lineitem, equi-joined on partkey — the shape the planner supports):
+//     SELECT <agg> FROM part_x [p] JOIN lineitem [l]
+//     ON [p.]partkey = [l.]partkey
+//
+//   the paper's correlated-sub-query template, recognized structurally:
+//     SELECT * FROM part_x p
+//     WHERE p.retailprice * 0.75 >
+//           (SELECT SUM(l.extendedprice) / SUM(l.quantity)
+//            FROM lineitem l WHERE l.partkey = p.partkey)
+//
+// The parser produces a QuerySpec; planning/validation against the
+// catalog happens later in Planner::Prepare. Errors carry the offending
+// token position.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "engine/planner.h"
+
+namespace mqpi::engine {
+
+/// Parses one SQL statement into a QuerySpec.
+Result<QuerySpec> ParseSql(std::string_view sql);
+
+namespace internal {
+
+enum class TokenKind {
+  kIdentifier,  // table / column names and keywords
+  kNumber,
+  kStar,
+  kComma,
+  kLParen,
+  kRParen,
+  kDot,
+  kGt,
+  kEq,
+  kMul,
+  kDiv,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;   // lower-cased for identifiers
+  double number = 0.0;
+  std::size_t position = 0;  // byte offset in the input
+};
+
+/// Exposed for tests: tokenizes the whole input.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace internal
+
+}  // namespace mqpi::engine

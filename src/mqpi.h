@@ -1,0 +1,34 @@
+// Umbrella header: the public API of the mqpi library.
+//
+//   storage  - catalog, tables, indexes, histograms, TPC-R generator
+//   engine   - query specs, SQL parser, planner, executions
+//   sched    - the Rdbms facade (submit / step / block / abort)
+//   pi       - single- and multi-query progress indicators
+//   wlm      - speed-up and scheduled-maintenance algorithms
+//   workload - Zipf query mixes and Poisson arrival schedules
+//   sim      - simulation runner, traces, series reporting
+#pragma once
+
+#include "common/priority.h"    // IWYU pragma: export
+#include "common/random.h"      // IWYU pragma: export
+#include "common/stats.h"       // IWYU pragma: export
+#include "common/status.h"      // IWYU pragma: export
+#include "common/units.h"       // IWYU pragma: export
+#include "engine/planner.h"     // IWYU pragma: export
+#include "engine/sql_parser.h"  // IWYU pragma: export
+#include "pi/analytic_simulator.h"  // IWYU pragma: export
+#include "pi/multi_query_pi.h"  // IWYU pragma: export
+#include "pi/pi_manager.h"      // IWYU pragma: export
+#include "pi/single_query_pi.h" // IWYU pragma: export
+#include "pi/stage_profile.h"   // IWYU pragma: export
+#include "sched/rdbms.h"        // IWYU pragma: export
+#include "sim/report.h"         // IWYU pragma: export
+#include "sim/runner.h"         // IWYU pragma: export
+#include "sim/trace.h"          // IWYU pragma: export
+#include "storage/catalog.h"    // IWYU pragma: export
+#include "storage/tpcr_gen.h"   // IWYU pragma: export
+#include "wlm/maintenance.h"    // IWYU pragma: export
+#include "wlm/speedup.h"        // IWYU pragma: export
+#include "wlm/wlm_advisor.h"    // IWYU pragma: export
+#include "workload/arrival_schedule.h"  // IWYU pragma: export
+#include "workload/zipf_workload.h"     // IWYU pragma: export

@@ -1,0 +1,200 @@
+#include "pi/analytic_simulator.h"
+
+#include <algorithm>
+#include <deque>
+#include <queue>
+#include <string>
+
+namespace mqpi::pi {
+
+Result<SimTime> ForecastResult::FinishTimeOf(QueryId id) const {
+  for (const QueryForecast& f : forecasts_) {
+    if (f.id == id) return f.finish_time;
+  }
+  return Status::NotFound("query " + std::to_string(id) +
+                          " not in forecast");
+}
+
+namespace {
+
+struct ActiveEntry {
+  double finish_x;  // X threshold at which this query completes
+  double weight;
+  QueryId id;    // kInvalidQueryId for virtual queries
+  bool real;
+
+  bool operator>(const ActiveEntry& other) const {
+    if (finish_x != other.finish_x) return finish_x > other.finish_x;
+    return id > other.id;
+  }
+};
+
+struct PendingEntry {
+  WorkUnits cost;
+  double weight;
+  QueryId id;
+  bool real;
+};
+
+Status ValidateLoad(const QueryLoad& q) {
+  if (q.weight <= 0.0) {
+    return Status::InvalidArgument("query " + std::to_string(q.id) +
+                                   " has non-positive weight");
+  }
+  if (q.remaining_cost < 0.0) {
+    return Status::InvalidArgument("query " + std::to_string(q.id) +
+                                   " has negative remaining cost");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ForecastResult> AnalyticSimulator::Forecast(
+    const std::vector<QueryLoad>& running,
+    const std::vector<QueryLoad>& queued,
+    std::vector<FutureArrival> arrivals,
+    const AnalyticModelOptions& options) {
+  if (options.rate <= 0.0) {
+    return Status::InvalidArgument("aggregate rate must be positive");
+  }
+  if (options.max_concurrent < 1) {
+    return Status::InvalidArgument("max_concurrent must be >= 1");
+  }
+  const bool has_virtual =
+      options.virtual_interval > 0.0 && options.virtual_cost > 0.0;
+  if (has_virtual && options.virtual_weight <= 0.0) {
+    return Status::InvalidArgument("virtual weight must be positive");
+  }
+  for (const QueryLoad& q : running) MQPI_RETURN_NOT_OK(ValidateLoad(q));
+  for (const QueryLoad& q : queued) MQPI_RETURN_NOT_OK(ValidateLoad(q));
+  for (const FutureArrival& a : arrivals) {
+    if (a.time < 0.0) {
+      return Status::InvalidArgument("arrival time must be >= 0");
+    }
+    if (a.weight <= 0.0 || a.cost < 0.0) {
+      return Status::InvalidArgument("arrival has invalid cost/weight");
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end(),
+            [](const FutureArrival& a, const FutureArrival& b) {
+              return a.time < b.time;
+            });
+
+  // --- state -----------------------------------------------------------------
+  double x = 0.0;       // cumulative normalized progress
+  SimTime t = 0.0;      // elapsed time
+  double total_w = 0.0; // weight of active queries
+  std::priority_queue<ActiveEntry, std::vector<ActiveEntry>,
+                      std::greater<ActiveEntry>>
+      active;
+  std::deque<PendingEntry> queue;
+
+  std::size_t real_total = running.size() + queued.size();
+  for (const FutureArrival& a : arrivals) {
+    if (a.id != kInvalidQueryId) ++real_total;
+  }
+  std::size_t real_finished = 0;
+
+  ForecastResult result;
+  result.forecasts_.reserve(real_total);
+
+  auto activate = [&](WorkUnits cost, double weight, QueryId id, bool real) {
+    active.push(ActiveEntry{x + cost / weight, weight, id, real});
+    total_w += weight;
+  };
+  auto admit = [&] {
+    while (!queue.empty() &&
+           static_cast<int>(active.size()) < options.max_concurrent) {
+      const PendingEntry& p = queue.front();
+      activate(p.cost, p.weight, p.id, p.real);
+      queue.pop_front();
+    }
+  };
+
+  for (const QueryLoad& q : running) {
+    activate(q.remaining_cost, q.weight, q.id, /*real=*/true);
+  }
+  for (const QueryLoad& q : queued) {
+    queue.push_back(PendingEntry{q.remaining_cost, q.weight, q.id, true});
+  }
+  admit();
+
+  std::size_t arrival_pos = 0;
+  SimTime next_virtual =
+      has_virtual ? options.virtual_interval : kInfiniteTime;
+
+  std::size_t events = 0;
+  while (real_finished < real_total) {
+    if (++events > options.max_events || t > options.horizon) break;
+
+    // Next arrival (real stream vs virtual stream).
+    SimTime arrival_t = kInfiniteTime;
+    bool arrival_is_virtual = false;
+    if (arrival_pos < arrivals.size()) arrival_t = arrivals[arrival_pos].time;
+    if (next_virtual < arrival_t) {
+      arrival_t = next_virtual;
+      arrival_is_virtual = true;
+    }
+
+    // Next finish among active queries.
+    SimTime finish_t = kInfiniteTime;
+    if (!active.empty()) {
+      finish_t = t + (active.top().finish_x - x) * total_w / options.rate;
+    }
+
+    if (finish_t == kInfiniteTime && arrival_t == kInfiniteTime) break;
+
+    if (arrival_t < finish_t) {
+      // Advance progress to the arrival instant, then enqueue/admit.
+      if (!active.empty()) {
+        x += options.rate * (arrival_t - t) / total_w;
+      }
+      t = arrival_t;
+      if (arrival_is_virtual) {
+        queue.push_back(PendingEntry{options.virtual_cost,
+                                     options.virtual_weight,
+                                     kInvalidQueryId, false});
+        next_virtual += options.virtual_interval;
+      } else {
+        const FutureArrival& a = arrivals[arrival_pos++];
+        queue.push_back(
+            PendingEntry{a.cost, a.weight, a.id, a.id != kInvalidQueryId});
+      }
+      admit();
+    } else {
+      // Advance to the finish instant and retire the query.
+      const ActiveEntry top = active.top();
+      active.pop();
+      x = top.finish_x;
+      t = finish_t;
+      total_w -= top.weight;
+      if (top.real) {
+        result.forecasts_.push_back(QueryForecast{top.id, t});
+        ++real_finished;
+      }
+      admit();
+    }
+  }
+
+  // Anything not finished by the horizon is reported as unbounded.
+  if (real_finished < real_total) {
+    auto report_missing = [&](QueryId id) {
+      if (id == kInvalidQueryId) return;
+      for (const QueryForecast& f : result.forecasts_) {
+        if (f.id == id) return;
+      }
+      result.forecasts_.push_back(QueryForecast{id, kInfiniteTime});
+    };
+    for (const QueryLoad& q : running) report_missing(q.id);
+    for (const QueryLoad& q : queued) report_missing(q.id);
+    for (const FutureArrival& a : arrivals) report_missing(a.id);
+    result.quiescent_ = kInfiniteTime;
+  } else {
+    result.quiescent_ =
+        result.forecasts_.empty() ? 0.0 : result.forecasts_.back().finish_time;
+  }
+  return result;
+}
+
+}  // namespace mqpi::pi

@@ -1,0 +1,96 @@
+// AnalyticSimulator: event-driven generalization of StageProfile.
+//
+// StageProfile handles the paper's standard case (a fixed set of
+// running queries). The full multi-query PI must also model:
+//   * queries waiting in the admission queue (Section 2.3) — they are
+//     known load that starts when a slot frees, and
+//   * predicted future queries (Section 2.4) — every 1/lambda seconds a
+//     virtual query with the average cost and priority arrives.
+//
+// Under weighted fair sharing all active queries progress equally per
+// unit weight, so we track cumulative normalized progress X with
+// dX/dt = C / W. A query joining at X0 with ratio rho = c/w finishes
+// when X reaches X0 + rho, independent of how W fluctuates afterwards —
+// which makes a finish-ordered min-heap on X thresholds exact. Events
+// are query finishes and arrivals; each costs O(log n).
+//
+// With no arrivals and no admission limit this reproduces StageProfile
+// exactly (property-tested).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "pi/stage_profile.h"
+
+namespace mqpi::pi {
+
+/// A query known (or predicted) to arrive at a future instant.
+struct FutureArrival {
+  SimTime time = 0.0;  // relative to "now" (the forecast origin)
+  WorkUnits cost = 0.0;
+  double weight = 1.0;
+  /// kInvalidQueryId marks a virtual (predicted) query.
+  QueryId id = kInvalidQueryId;
+};
+
+struct AnalyticModelOptions {
+  /// Aggregate processing rate C (work units / second).
+  double rate = 1000.0;
+  /// Admission limit: queries beyond this wait in FIFO order.
+  int max_concurrent = 1 << 30;
+  /// Virtual arrival stream (Section 2.4): every `virtual_interval`
+  /// seconds a query of `virtual_cost` / `virtual_weight` arrives,
+  /// first at time `virtual_interval`. <= 0 disables the stream.
+  double virtual_interval = 0.0;
+  WorkUnits virtual_cost = 0.0;
+  double virtual_weight = 1.0;
+  /// Safety stop: real queries not finished by this (relative) time are
+  /// reported with finish time kInfiniteTime.
+  SimTime horizon = 1e7;
+  /// Safety stop on total processed events.
+  std::size_t max_events = 4'000'000;
+};
+
+struct QueryForecast {
+  QueryId id = kInvalidQueryId;
+  /// Predicted remaining time until this query completes (relative to
+  /// the forecast origin); kInfiniteTime if past the horizon.
+  SimTime finish_time = kInfiniteTime;
+};
+
+class ForecastResult {
+ public:
+  /// Forecasts for all *real* queries, in predicted finish order.
+  const std::vector<QueryForecast>& forecasts() const { return forecasts_; }
+
+  /// Predicted remaining time of one query.
+  Result<SimTime> FinishTimeOf(QueryId id) const;
+
+  /// When the last real query finishes (the estimated system quiescent
+  /// time of Section 3.3); kInfiniteTime if any query missed the horizon.
+  SimTime quiescent_time() const { return quiescent_; }
+
+ private:
+  friend class AnalyticSimulator;
+  std::vector<QueryForecast> forecasts_;
+  SimTime quiescent_ = 0.0;
+};
+
+class AnalyticSimulator {
+ public:
+  /// Forecasts finish times for every real query.
+  ///   running:  active now (each holds a slot),
+  ///   queued:   in the admission queue, FIFO order,
+  ///   arrivals: known/predicted future arrivals (any order; sorted
+  ///             internally by time).
+  /// Fails on non-positive rate/weights or negative costs/times.
+  static Result<ForecastResult> Forecast(
+      const std::vector<QueryLoad>& running,
+      const std::vector<QueryLoad>& queued,
+      std::vector<FutureArrival> arrivals,
+      const AnalyticModelOptions& options);
+};
+
+}  // namespace mqpi::pi

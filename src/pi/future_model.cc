@@ -1,0 +1,52 @@
+#include "pi/future_model.h"
+
+#include <algorithm>
+
+namespace mqpi::pi {
+
+FutureWorkloadModel::FutureWorkloadModel(FutureWorkloadEstimate prior)
+    : prior_(prior) {}
+
+FutureWorkloadModel::FutureWorkloadModel(FutureWorkloadEstimate prior,
+                                         double prior_strength)
+    : prior_(prior), adaptive_(true), prior_strength_(prior_strength) {}
+
+void FutureWorkloadModel::ObserveArrival(SimTime now, WorkUnits cost,
+                                         double weight) {
+  if (!adaptive_) return;
+  window_end_ = std::max(window_end_, now);
+  observed_count_ += 1.0;
+  observed_cost_sum_ += cost;
+  observed_weight_sum_ += weight;
+}
+
+void FutureWorkloadModel::ObserveElapsed(SimTime now) {
+  if (!adaptive_) return;
+  window_end_ = std::max(window_end_, now);
+}
+
+FutureWorkloadEstimate FutureWorkloadModel::Current() const {
+  if (!adaptive_) return prior_;
+  FutureWorkloadEstimate out;
+  const double elapsed = std::max(0.0, window_end_ - window_start_);
+  // Gamma-style blend: the prior acts as prior_strength_ arrivals over
+  // prior_strength_ / lambda seconds (guarding lambda == 0).
+  const double prior_time =
+      prior_.lambda > 0.0 ? prior_strength_ / prior_.lambda : 0.0;
+  const double total_count = prior_strength_ + observed_count_;
+  const double total_time = prior_time + elapsed;
+  out.lambda = total_time > 0.0 ? total_count / total_time : prior_.lambda;
+  out.avg_cost =
+      total_count > 0.0
+          ? (prior_strength_ * prior_.avg_cost + observed_cost_sum_) /
+                total_count
+          : prior_.avg_cost;
+  out.avg_weight =
+      total_count > 0.0
+          ? (prior_strength_ * prior_.avg_weight + observed_weight_sum_) /
+                total_count
+          : prior_.avg_weight;
+  return out;
+}
+
+}  // namespace mqpi::pi

@@ -1,0 +1,60 @@
+// FutureWorkloadModel: the Section 2.4 prediction of queries that have
+// not yet arrived — "we assume that we know the average query priority
+// p-bar, the average cost c-bar, and the average arrival rate lambda".
+//
+// The model holds those three numbers as a prior and, when adaptive
+// mode is on, blends them with arrivals actually observed since the
+// model started — this is the adaptivity that lets a multi-query PI
+// recover from a wrong lambda' (Figures 8-10). The blend treats the
+// prior as `prior_strength` pseudo-arrivals spread over
+// prior_strength / lambda seconds, so observation gradually outweighs
+// a bad prior.
+#pragma once
+
+#include "common/units.h"
+
+namespace mqpi::pi {
+
+struct FutureWorkloadEstimate {
+  /// Average arrival rate lambda (queries/sec). 0 disables forecasting.
+  double lambda = 0.0;
+  /// Average query cost c-bar (work units).
+  WorkUnits avg_cost = 0.0;
+  /// Weight of the average priority p-bar.
+  double avg_weight = 1.0;
+};
+
+class FutureWorkloadModel {
+ public:
+  /// Static model: always reports `prior`.
+  explicit FutureWorkloadModel(FutureWorkloadEstimate prior);
+
+  /// Adaptive model: blends `prior` (worth `prior_strength`
+  /// pseudo-arrivals) with observed arrivals.
+  FutureWorkloadModel(FutureWorkloadEstimate prior, double prior_strength);
+
+  /// Records one observed arrival at absolute time `now`.
+  void ObserveArrival(SimTime now, WorkUnits cost, double weight);
+
+  /// Advances the observation window without an arrival (lambda decays
+  /// when the system goes quiet). No-op for static models.
+  void ObserveElapsed(SimTime now);
+
+  /// Current best estimate.
+  FutureWorkloadEstimate Current() const;
+
+  bool adaptive() const { return adaptive_; }
+  const FutureWorkloadEstimate& prior() const { return prior_; }
+
+ private:
+  FutureWorkloadEstimate prior_;
+  bool adaptive_ = false;
+  double prior_strength_ = 0.0;
+  SimTime window_start_ = 0.0;
+  SimTime window_end_ = 0.0;
+  double observed_count_ = 0.0;
+  WorkUnits observed_cost_sum_ = 0.0;
+  double observed_weight_sum_ = 0.0;
+};
+
+}  // namespace mqpi::pi

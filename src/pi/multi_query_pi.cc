@@ -1,0 +1,134 @@
+#include "pi/multi_query_pi.h"
+
+#include <algorithm>
+
+namespace mqpi::pi {
+
+MultiQueryPi::MultiQueryPi(const sched::Rdbms* db,
+                           MultiQueryPiOptions options,
+                           FutureWorkloadModel* future)
+    : db_(db), options_(options), future_(future), rate_(options.rate_alpha) {
+  // Queries already in the system are current load, not "arrivals";
+  // only queries submitted after the PI attaches feed the future model.
+  for (const auto& info : db_->AllQueries()) {
+    last_seen_id_ = std::max(last_seen_id_, info.id);
+  }
+}
+
+void MultiQueryPi::ObserveStep() {
+  // Accumulate consumption across running queries; emit one rate
+  // sample per full window (per-quantum totals are too noisy because
+  // operators overshoot their budget by up to one probe).
+  const auto running = db_->RunningQueries();
+  WorkUnits consumed = 0.0;
+  SimTime dt = 0.0;
+  for (const auto& info : running) {
+    consumed += info.consumed_last_step;
+    dt = std::max(dt, info.last_step_duration);
+  }
+  if (dt > 0.0 && !running.empty()) {
+    window_consumed_ += consumed;
+    window_elapsed_ += dt;
+    if (window_elapsed_ + kTimeEpsilon >= options_.rate_window) {
+      rate_.Observe(window_consumed_ / window_elapsed_);
+      window_consumed_ = 0.0;
+      window_elapsed_ = 0.0;
+    }
+  }
+
+  // Detect arrivals (ids above the watermark) for the future model.
+  if (future_ != nullptr) {
+    for (const auto& info : db_->AllQueries()) {
+      if (info.id > last_seen_id_) {
+        last_seen_id_ = info.id;
+        future_->ObserveArrival(info.arrival_time, info.optimizer_cost,
+                                info.weight);
+      }
+    }
+    future_->ObserveElapsed(db_->now());
+  }
+}
+
+double MultiQueryPi::estimated_rate() const {
+  return rate_.has_value() ? rate_.value()
+                           : db_->options().processing_rate;
+}
+
+Result<ForecastResult> MultiQueryPi::ForecastAll() const {
+  return ForecastWhatIf(WhatIf{});
+}
+
+Result<ForecastResult> MultiQueryPi::ForecastWhatIf(
+    const WhatIf& scenario) const {
+  auto removed = [&scenario](QueryId id) {
+    for (QueryId b : scenario.blocked) {
+      if (b == id) return true;
+    }
+    for (QueryId a : scenario.aborted) {
+      if (a == id) return true;
+    }
+    return false;
+  };
+  auto weight_of = [&scenario](const sched::QueryInfo& info) {
+    for (const auto& [id, weight] : scenario.reweighted) {
+      if (id == info.id) return weight;
+    }
+    return info.weight;
+  };
+
+  std::vector<QueryLoad> running;
+  for (const auto& info : db_->RunningQueries()) {
+    if (removed(info.id)) continue;
+    running.push_back(
+        QueryLoad{info.id, info.estimated_remaining_cost, weight_of(info)});
+  }
+  std::vector<QueryLoad> queued;
+  if (options_.consider_admission_queue) {
+    for (const auto& info : db_->QueuedQueries()) {
+      if (removed(info.id)) continue;
+      queued.push_back(
+          QueryLoad{info.id, info.estimated_remaining_cost, weight_of(info)});
+    }
+  }
+
+  AnalyticModelOptions model;
+  model.rate = estimated_rate();
+  model.max_concurrent = db_->options().max_concurrent;
+  model.horizon = options_.horizon;
+  model.max_events = options_.max_events;
+  if (future_ != nullptr) {
+    const FutureWorkloadEstimate est = future_->Current();
+    if (est.lambda > 0.0 && est.avg_cost > 0.0) {
+      model.virtual_interval = 1.0 / est.lambda;
+      model.virtual_cost = est.avg_cost;
+      model.virtual_weight = est.avg_weight;
+    }
+  }
+  return AnalyticSimulator::Forecast(running, queued, {}, model);
+}
+
+Result<SimTime> MultiQueryPi::EstimateRemainingTime(QueryId id) const {
+  auto info = db_->info(id);
+  if (!info.ok()) return info.status();
+  switch (info->state) {
+    case sched::QueryState::kFinished:
+      return 0.0;
+    case sched::QueryState::kAborted:
+      return 0.0;
+    case sched::QueryState::kBlocked:
+      return kInfiniteTime;  // no progress while blocked
+    case sched::QueryState::kQueued:
+      if (!options_.consider_admission_queue) {
+        // Without queue awareness the PI cannot see this query at all.
+        return kInfiniteTime;
+      }
+      break;
+    case sched::QueryState::kRunning:
+      break;
+  }
+  auto forecast = ForecastAll();
+  if (!forecast.ok()) return forecast.status();
+  return forecast->FinishTimeOf(id);
+}
+
+}  // namespace mqpi::pi

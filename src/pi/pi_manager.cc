@@ -1,0 +1,110 @@
+#include "pi/pi_manager.h"
+
+namespace mqpi::pi {
+
+namespace {
+MultiQueryPiOptions QueueBlind(MultiQueryPiOptions options) {
+  options.consider_admission_queue = false;
+  return options;
+}
+}  // namespace
+
+PiManager::PiManager(sched::Rdbms* db, PiManagerOptions options,
+                     FutureWorkloadModel* future)
+    : db_(db), options_(options), multi_(db, options.multi, future) {
+  if (options_.record_queue_blind_variant) {
+    multi_blind_ =
+        std::make_unique<MultiQueryPi>(db, QueueBlind(options.multi), future);
+  }
+  if (options_.auto_track) {
+    db->AddEventListener([this](const sched::QueryEvent& event) {
+      if (event.kind == sched::QueryEventKind::kSubmitted) {
+        Track(event.info.id);
+      }
+    });
+  }
+}
+
+void PiManager::Track(QueryId id) {
+  singles_.emplace(id, SingleQueryPi(id, options_.single_speed_alpha,
+                                     options_.single_speed_window));
+  traces_[id];  // create an empty trace
+}
+
+Result<SimTime> PiManager::EstimateSingle(QueryId id) const {
+  auto it = singles_.find(id);
+  if (it == singles_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " not tracked");
+  }
+  return it->second.EstimateRemainingTime();
+}
+
+const std::vector<EstimateSample>& PiManager::Trace(QueryId id) const {
+  static const std::vector<EstimateSample> kEmpty;
+  auto it = traces_.find(id);
+  return it == traces_.end() ? kEmpty : it->second;
+}
+
+std::vector<PiManager::ProgressRow> PiManager::Report() const {
+  std::vector<ProgressRow> rows;
+  for (const auto& info : db_->AllQueries()) {
+    if (info.state == sched::QueryState::kFinished ||
+        info.state == sched::QueryState::kAborted) {
+      continue;
+    }
+    ProgressRow row;
+    row.id = info.id;
+    row.label = info.label;
+    row.state = info.state;
+    const double total =
+        info.completed_work + info.estimated_remaining_cost;
+    row.fraction_done = total > 0.0 ? info.completed_work / total : 0.0;
+    auto it = singles_.find(info.id);
+    if (it != singles_.end()) {
+      row.speed = it->second.speed();
+      row.eta_single = it->second.EstimateRemainingTime();
+    }
+    auto multi_eta = multi_.EstimateRemainingTime(info.id);
+    if (multi_eta.ok()) row.eta_multi = *multi_eta;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+void PiManager::AfterStep() {
+  multi_.ObserveStep();
+  if (multi_blind_) multi_blind_->ObserveStep();
+
+  const SimTime now = db_->now();
+  for (auto& [id, single] : singles_) {
+    auto info = db_->info(id);
+    if (info.ok()) single.Observe(*info, now);
+  }
+
+  if (now + kTimeEpsilon < next_sample_) return;
+  next_sample_ = now + options_.sample_interval;
+
+  for (auto& [id, trace] : traces_) {
+    auto info = db_->info(id);
+    if (!info.ok()) continue;
+    if (info->state == sched::QueryState::kFinished ||
+        info->state == sched::QueryState::kAborted) {
+      continue;  // trace ends at completion
+    }
+    EstimateSample sample;
+    sample.time = now;
+    const auto& single = singles_.at(id);
+    const SimTime s = single.EstimateRemainingTime();
+    sample.single = s;
+    sample.speed = single.speed();
+    auto m = multi_.EstimateRemainingTime(id);
+    sample.multi = m.ok() ? *m : kUnknown;
+    if (multi_blind_) {
+      auto mb = multi_blind_->EstimateRemainingTime(id);
+      sample.multi_no_queue = mb.ok() ? *mb : kUnknown;
+    }
+    trace.push_back(sample);
+  }
+}
+
+}  // namespace mqpi::pi

@@ -1,0 +1,39 @@
+#include "pi/single_query_pi.h"
+
+namespace mqpi::pi {
+
+SingleQueryPi::SingleQueryPi(QueryId id, double speed_alpha, SimTime window)
+    : id_(id), speed_(speed_alpha), window_(window) {}
+
+void SingleQueryPi::Observe(const sched::QueryInfo& info, SimTime now) {
+  remaining_cost_ = info.estimated_remaining_cost;
+  if (info.state == sched::QueryState::kFinished) {
+    finished_ = true;
+    remaining_cost_ = 0.0;
+    return;
+  }
+  if (info.state != sched::QueryState::kRunning) {
+    // Not executing: restart the measurement window so queued/blocked
+    // stretches don't pollute the next sample.
+    window_start_ = kUnknown;
+    return;
+  }
+  if (window_start_ == kUnknown) {
+    window_start_ = now;
+    window_start_work_ = info.completed_work;
+    return;
+  }
+  const SimTime span = now - window_start_;
+  if (span + kTimeEpsilon < window_) return;  // window not full yet
+  speed_.Observe((info.completed_work - window_start_work_) / span);
+  window_start_ = now;
+  window_start_work_ = info.completed_work;
+}
+
+SimTime SingleQueryPi::EstimateRemainingTime() const {
+  if (finished_) return 0.0;
+  if (!speed_.has_value() || speed_.value() <= 0.0) return kInfiniteTime;
+  return remaining_cost_ / speed_.value();
+}
+
+}  // namespace mqpi::pi

@@ -1,0 +1,81 @@
+#include "pi/stage_profile.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mqpi::pi {
+
+Result<StageProfile> StageProfile::Compute(std::vector<QueryLoad> queries,
+                                           double rate) {
+  if (rate <= 0.0) {
+    return Status::InvalidArgument("aggregate rate must be positive, got " +
+                                   std::to_string(rate));
+  }
+  for (const QueryLoad& q : queries) {
+    if (q.weight <= 0.0) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(q.id) + " has non-positive weight " +
+          std::to_string(q.weight));
+    }
+    if (q.remaining_cost < 0.0) {
+      return Status::InvalidArgument(
+          "query " + std::to_string(q.id) + " has negative remaining cost " +
+          std::to_string(q.remaining_cost));
+    }
+  }
+
+  StageProfile profile;
+  profile.rate_ = rate;
+  profile.sorted_ = std::move(queries);
+  // Ascending c/w; compare cross-multiplied to avoid division.
+  std::sort(profile.sorted_.begin(), profile.sorted_.end(),
+            [](const QueryLoad& a, const QueryLoad& b) {
+              const double lhs = a.remaining_cost * b.weight;
+              const double rhs = b.remaining_cost * a.weight;
+              if (lhs != rhs) return lhs < rhs;
+              return a.id < b.id;  // deterministic tie-break
+            });
+
+  const std::size_t n = profile.sorted_.size();
+  profile.durations_.resize(n);
+  profile.remaining_.resize(n);
+  profile.suffix_weights_.resize(n);
+
+  double suffix = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    suffix += profile.sorted_[i].weight;
+    profile.suffix_weights_[i] = suffix;
+  }
+
+  double prev_ratio = 0.0;
+  SimTime elapsed = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const QueryLoad& q = profile.sorted_[i];
+    const double ratio = q.remaining_cost / q.weight;
+    const SimTime duration =
+        (ratio - prev_ratio) * profile.suffix_weights_[i] / rate;
+    profile.durations_[i] = duration < 0.0 ? 0.0 : duration;
+    elapsed += profile.durations_[i];
+    profile.remaining_[i] = elapsed;
+    prev_ratio = ratio;
+  }
+  return profile;
+}
+
+Result<SimTime> StageProfile::RemainingTimeOf(QueryId id) const {
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (sorted_[i].id == id) return remaining_[i];
+  }
+  return Status::NotFound("query " + std::to_string(id) +
+                          " not in stage profile");
+}
+
+Result<std::size_t> StageProfile::FinishPosition(QueryId id) const {
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    if (sorted_[i].id == id) return i;
+  }
+  return Status::NotFound("query " + std::to_string(id) +
+                          " not in stage profile");
+}
+
+}  // namespace mqpi::pi

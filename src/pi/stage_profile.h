@@ -1,0 +1,82 @@
+// StageProfile: the paper's Section 2.2 "standard case" algorithm.
+//
+// Given n queries with remaining costs c_i and priority weights w_i
+// executing under weighted fair sharing at aggregate rate C
+// (s_i = C * w_i / W), their joint execution decomposes into n stages;
+// at the end of stage i the query with the i-th smallest c/w ratio
+// finishes. Stage durations have the closed form
+//
+//     t_i = (c_i/w_i - c_{i-1}/w_{i-1}) * W_i / C,     W_i = sum_{j>=i} w_j
+//
+// (with c_0/w_0 = 0), and the remaining execution time of the i-th
+// finisher is r_i = t_1 + ... + t_i. Sorting dominates: O(n log n) time,
+// O(n) space — the complexity the paper claims.
+//
+// This is the analytic core reused by the multi-query progress
+// indicator and by all three workload-management algorithms.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace mqpi::pi {
+
+/// One query as seen by the analytic model: the PI-observable pair
+/// (remaining cost, weight).
+struct QueryLoad {
+  QueryId id = kInvalidQueryId;
+  WorkUnits remaining_cost = 0.0;  // c_i >= 0
+  double weight = 1.0;             // w_i > 0
+};
+
+class StageProfile {
+ public:
+  /// Computes the staged execution of `queries` at aggregate rate
+  /// `rate` (C, work units/sec). Fails on non-positive rate or weights
+  /// or negative costs.
+  static Result<StageProfile> Compute(std::vector<QueryLoad> queries,
+                                      double rate);
+
+  std::size_t num_queries() const { return sorted_.size(); }
+
+  /// Queries in predicted finish order (ascending c/w).
+  const std::vector<QueryLoad>& finish_order() const { return sorted_; }
+
+  /// t_i: duration of stage i (0-indexed), aligned with finish_order().
+  const std::vector<SimTime>& stage_durations() const { return durations_; }
+
+  /// r_i: remaining execution time of the i-th finisher (0-indexed).
+  const std::vector<SimTime>& remaining_times() const { return remaining_; }
+
+  /// Remaining execution time of a specific query.
+  Result<SimTime> RemainingTimeOf(QueryId id) const;
+
+  /// System quiescent time: when the last query finishes (0 if empty).
+  SimTime quiescent_time() const {
+    return remaining_.empty() ? 0.0 : remaining_.back();
+  }
+
+  /// Position of `id` in the finish order (0-indexed).
+  Result<std::size_t> FinishPosition(QueryId id) const;
+
+  /// Suffix weight sums W_i = sum_{j >= i} w_j, aligned with
+  /// finish_order(); used by the speed-up algorithms of Section 3.
+  const std::vector<double>& suffix_weights() const {
+    return suffix_weights_;
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  StageProfile() = default;
+
+  std::vector<QueryLoad> sorted_;
+  std::vector<SimTime> durations_;
+  std::vector<SimTime> remaining_;
+  std::vector<double> suffix_weights_;
+  double rate_ = 0.0;
+};
+
+}  // namespace mqpi::pi

@@ -1,0 +1,27 @@
+// Simulated wall clock. The entire system is driven by one
+// single-threaded clock so runs are deterministic and the "seconds" in
+// every figure are simulated seconds.
+#pragma once
+
+#include <cassert>
+
+#include "common/units.h"
+
+namespace mqpi::sched {
+
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void Advance(SimTime dt) {
+    assert(dt >= 0.0);
+    now_ += dt;
+  }
+
+  void Reset() { now_ = 0.0; }
+
+ private:
+  SimTime now_ = 0.0;
+};
+
+}  // namespace mqpi::sched

@@ -1,0 +1,62 @@
+// Controlled violations of the paper's simplifying assumptions
+// (Section 2.1 / Section 4), used by the robustness ablation bench.
+//
+//   Assumption 1 (constant aggregate rate C): violated by a thrashing
+//   model that degrades the aggregate rate once the multiprogramming
+//   level exceeds a threshold.
+//
+//   Assumption 3 (speed proportional to priority weight): violated by
+//   per-query interference multipliers, modelling e.g. an I/O-bound
+//   query that does not yield its proportional share.
+#pragma once
+
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace mqpi::sched {
+
+struct PerturbationOptions {
+  /// Multiprogramming level beyond which the aggregate rate degrades.
+  /// Default: never (Assumption 1 holds exactly).
+  int thrash_threshold = 1 << 30;
+  /// Fractional rate loss per query beyond the threshold, e.g. 0.15
+  /// means each extra query costs 15% of the base rate (floored at 10%).
+  double thrash_factor = 0.0;
+  /// Sigma of the per-query log-normal speed multiplier. 0 means
+  /// Assumption 3 holds exactly.
+  double speed_jitter_sigma = 0.0;
+  /// Seed for the jitter stream.
+  std::uint64_t seed = 1234;
+};
+
+class PerturbationModel {
+ public:
+  explicit PerturbationModel(PerturbationOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  /// Multiplier on the aggregate processing rate C given the current
+  /// number of running queries (Assumption 1 violation).
+  double AggregateRateFactor(int num_running) const {
+    if (num_running <= options_.thrash_threshold) return 1.0;
+    const double loss =
+        options_.thrash_factor *
+        static_cast<double>(num_running - options_.thrash_threshold);
+    const double factor = 1.0 - loss;
+    return factor < 0.1 ? 0.1 : factor;
+  }
+
+  /// Per-query effective-weight multiplier, drawn once per query
+  /// (Assumption 3 violation).
+  double DrawSpeedMultiplier() {
+    return rng_.LogNormalFactor(options_.speed_jitter_sigma);
+  }
+
+  const PerturbationOptions& options() const { return options_; }
+
+ private:
+  PerturbationOptions options_;
+  Rng rng_;
+};
+
+}  // namespace mqpi::sched

@@ -1,0 +1,224 @@
+// Rdbms: the multi-query execution substrate.
+//
+// Owns a buffer pool, a planner, an admission queue, and a
+// weighted-fair-share scheduler that distributes the aggregate
+// processing rate C (work units per second) over the running queries in
+// proportion to their priority weights — the execution model the paper
+// assumes (Assumptions 1 and 3), with optional perturbations that
+// violate those assumptions for the robustness ablation.
+//
+// Time advances in quanta via Step(dt). Within a quantum each running
+// query receives budget C*dt*w_i/W (plus its carried deficit, so
+// operator-granularity overshoot evens out), completions are detected,
+// and queued queries are admitted into freed slots.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/priority.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "engine/planner.h"
+#include "sched/clock.h"
+#include "sched/perturbation.h"
+#include "storage/catalog.h"
+
+namespace mqpi::sched {
+
+enum class QueryState {
+  kQueued,    // waiting in the admission queue
+  kRunning,   // receiving a share of C
+  kBlocked,   // suspended by workload management (holds its slot)
+  kFinished,  // ran to completion
+  kAborted,   // killed by workload management
+};
+
+std::string_view QueryStateName(QueryState state);
+
+struct RdbmsOptions {
+  /// Aggregate processing rate C in work units per second (Assumption 1).
+  double processing_rate = 1000.0;
+  /// Maximum queries running (or blocked) at once; others queue.
+  int max_concurrent = 1 << 30;
+  /// Scheduling quantum in simulated seconds.
+  SimTime quantum = 0.1;
+  /// Priority -> weight mapping (Assumption 3).
+  PriorityWeights weights;
+  /// Optimizer statistics noise.
+  engine::CostModelOptions cost_model;
+  /// Buffer pool configuration.
+  storage::BufferOptions buffer;
+  /// Assumption violations (defaults: assumptions hold exactly).
+  PerturbationOptions perturbation;
+  /// Statement timeout: a query still unfinished this many simulated
+  /// seconds after it *started* is aborted automatically (0 disables),
+  /// like a workload manager's runaway-query guard.
+  SimTime max_query_seconds = 0.0;
+};
+
+/// Everything externally observable about one query. Progress
+/// indicators must restrict themselves to the fields marked
+/// "observable"; ground truth lives only in the run's own history.
+struct QueryInfo {
+  QueryId id = kInvalidQueryId;
+  std::string label;                         // SQL-ish text
+  Priority priority = Priority::kNormal;
+  double weight = 1.0;                       // observable
+  QueryState state = QueryState::kQueued;
+  SimTime arrival_time = 0.0;
+  SimTime start_time = kUnknown;             // admission into running set
+  SimTime finish_time = kUnknown;            // completion or abort
+  WorkUnits optimizer_cost = 0.0;            // observable: plan-time estimate
+  WorkUnits completed_work = 0.0;            // observable: e_i
+  WorkUnits estimated_remaining_cost = 0.0;  // observable: refined c_i
+  WorkUnits consumed_last_step = 0.0;        // observable: speed sample
+  SimTime last_step_duration = 0.0;
+  std::uint64_t rows_produced = 0;
+  /// EXPLAIN ANALYZE-style I/O statistics (0 for synthetic queries).
+  std::uint64_t pages_accessed = 0;
+  std::uint64_t buffer_hits = 0;
+};
+
+/// Lifecycle events observable through Rdbms::AddEventListener.
+enum class QueryEventKind {
+  kSubmitted,  // entered the admission queue
+  kStarted,    // admitted into the running set
+  kBlocked,
+  kResumed,
+  kFinished,
+  kAborted,
+  kPriorityChanged,
+};
+
+std::string_view QueryEventKindName(QueryEventKind kind);
+
+struct QueryEvent {
+  QueryEventKind kind = QueryEventKind::kSubmitted;
+  SimTime time = 0.0;
+  QueryInfo info;
+};
+
+class Rdbms {
+ public:
+  /// `catalog` must outlive the Rdbms; data is shared read-only across
+  /// instances so multi-run experiments build tables once.
+  Rdbms(const storage::Catalog* catalog, RdbmsOptions options = {});
+  ~Rdbms();
+
+  Rdbms(const Rdbms&) = delete;
+  Rdbms& operator=(const Rdbms&) = delete;
+
+  // ---- submission and control ----------------------------------------------
+
+  /// Plans and enqueues a query at the current simulated time. If a
+  /// running slot is free (and admission is open) it starts
+  /// immediately. Returns the new query id.
+  Result<QueryId> Submit(const engine::QuerySpec& spec,
+                         Priority priority = Priority::kNormal);
+
+  /// Kills a queued, blocked, or running query (workload management
+  /// operation O2'/O2). Completed work is lost.
+  Status Abort(QueryId id);
+
+  /// Suspends a running query; it keeps its slot but receives no work
+  /// (the single-/multiple-query speed-up victim operation).
+  Status Block(QueryId id);
+
+  /// Resumes a blocked query.
+  Status Resume(QueryId id);
+
+  Status SetPriority(QueryId id, Priority priority);
+
+  /// Instantaneously advances a running query by `work` units without
+  /// consuming simulated time. Experiment setup only — used to start a
+  /// scenario with queries "at a random point of their execution"
+  /// (paper Sections 5.2.1 / 5.2.3). Fires completion listeners if the
+  /// query finishes during the fast-forward.
+  Status FastForward(QueryId id, WorkUnits work);
+
+  /// Closes/opens the admission queue (maintenance operation O1).
+  /// While closed, Submit() still queues queries but none are admitted.
+  void SetAdmissionOpen(bool open);
+  bool admission_open() const { return admission_open_; }
+
+  // ---- time -----------------------------------------------------------------
+
+  /// Advances simulated time by one quantum.
+  void Step() { Step(options_.quantum); }
+
+  /// Advances simulated time by `dt` (split into quanta internally).
+  void Step(SimTime dt);
+
+  /// Steps until no query is running or queued, or until `deadline`.
+  /// Returns the final simulated time.
+  SimTime RunUntilIdle(SimTime deadline = kInfiniteTime);
+
+  SimTime now() const { return clock_.now(); }
+
+  // ---- inspection -----------------------------------------------------------
+
+  Result<QueryInfo> info(QueryId id) const;
+  std::vector<QueryInfo> RunningQueries() const;   // excludes blocked
+  std::vector<QueryInfo> BlockedQueries() const;
+  std::vector<QueryInfo> QueuedQueries() const;    // admission-queue order
+  std::vector<QueryInfo> AllQueries() const;
+
+  int num_running() const { return static_cast<int>(running_.size()); }
+  int num_queued() const { return static_cast<int>(admission_queue_.size()); }
+  bool Idle() const;
+
+  const RdbmsOptions& options() const { return options_; }
+
+  /// The effective aggregate rate right now (C scaled by the
+  /// perturbation model for the current multiprogramming level).
+  double EffectiveRate() const;
+
+  /// Completion hook: fired when a query finishes (not on abort).
+  void AddCompletionListener(std::function<void(const QueryInfo&)> fn);
+
+  /// Full lifecycle hook: fired for every QueryEvent (submission,
+  /// start, block/resume, priority change, finish, abort).
+  void AddEventListener(std::function<void(const QueryEvent&)> fn);
+
+  /// The planner (shared cost model / noise stream) — used by
+  /// experiments to dry-run specs for ground truth.
+  engine::Planner* planner() { return planner_.get(); }
+
+  const storage::BufferManager& buffers() const { return *buffers_; }
+
+ private:
+  struct Record;
+
+  void AdmitFromQueue();
+  void StepOnce(SimTime dt);
+  QueryInfo MakeInfo(const Record& record) const;
+  Record* Find(QueryId id);
+
+  const storage::Catalog* catalog_;
+  RdbmsOptions options_;
+  SimClock clock_;
+  std::unique_ptr<storage::BufferManager> buffers_;
+  std::unique_ptr<engine::Planner> planner_;
+  PerturbationModel perturbation_;
+  bool admission_open_ = true;
+
+  /// Negative when the previous quantum's last served operator step
+  /// overshot the pool; repaid from the next quantum's capacity.
+  WorkUnits system_carry_ = 0.0;
+
+  QueryId next_id_ = 1;
+  std::unordered_map<QueryId, std::unique_ptr<Record>> queries_;
+  std::vector<QueryId> running_;           // running + blocked hold slots
+  std::deque<QueryId> admission_queue_;
+  void Emit(QueryEventKind kind, const Record& record);
+
+  std::vector<std::function<void(const QueryInfo&)>> completion_listeners_;
+  std::vector<std::function<void(const QueryEvent&)>> event_listeners_;
+};
+
+}  // namespace mqpi::sched

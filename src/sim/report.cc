@@ -1,0 +1,82 @@
+#include "sim/report.h"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+namespace mqpi::sim {
+
+namespace {
+std::string FormatCell(double v) {
+  if (v == kUnknown) return "-";
+  if (std::isinf(v)) return "inf";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << v;
+  std::string s = os.str();
+  // Trim trailing zeros (keep at least one decimal digit).
+  while (s.size() > 1 && s.back() == '0' &&
+         s[s.size() - 2] != '.') {
+    s.pop_back();
+  }
+  return s;
+}
+}  // namespace
+
+SeriesTable::SeriesTable(std::string title, std::string x_name,
+                         std::vector<std::string> y_names)
+    : title_(std::move(title)),
+      x_name_(std::move(x_name)),
+      y_names_(std::move(y_names)) {}
+
+void SeriesTable::AddRow(double x, std::vector<double> ys) {
+  assert(ys.size() == y_names_.size());
+  rows_.push_back(Row{x, std::move(ys)});
+}
+
+void SeriesTable::PrintText(std::ostream& os) const {
+  os << "== " << title_ << " ==\n";
+  // Column widths.
+  std::vector<std::size_t> widths;
+  widths.push_back(x_name_.size());
+  for (const auto& name : y_names_) widths.push_back(name.size());
+  for (const Row& row : rows_) {
+    widths[0] = std::max(widths[0], FormatCell(row.x).size());
+    for (std::size_t i = 0; i < row.ys.size(); ++i) {
+      widths[i + 1] = std::max(widths[i + 1], FormatCell(row.ys[i]).size());
+    }
+  }
+  auto pad = [&os](const std::string& s, std::size_t w) {
+    os << std::setw(static_cast<int>(w) + 2) << s;
+  };
+  pad(x_name_, widths[0]);
+  for (std::size_t i = 0; i < y_names_.size(); ++i) {
+    pad(y_names_[i], widths[i + 1]);
+  }
+  os << "\n";
+  for (const Row& row : rows_) {
+    pad(FormatCell(row.x), widths[0]);
+    for (std::size_t i = 0; i < row.ys.size(); ++i) {
+      pad(FormatCell(row.ys[i]), widths[i + 1]);
+    }
+    os << "\n";
+  }
+}
+
+void SeriesTable::PrintText() const { PrintText(std::cout); }
+
+void SeriesTable::PrintCsv() const { PrintCsv(std::cout); }
+
+void SeriesTable::PrintCsv(std::ostream& os) const {
+  os << x_name_;
+  for (const auto& name : y_names_) os << "," << name;
+  os << "\n";
+  for (const Row& row : rows_) {
+    os << FormatCell(row.x);
+    for (const double y : row.ys) os << "," << FormatCell(y);
+    os << "\n";
+  }
+}
+
+}  // namespace mqpi::sim

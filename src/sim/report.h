@@ -1,0 +1,47 @@
+// SeriesTable: uniform text/CSV rendering for every figure and table
+// the benches regenerate, so bench output lines up with the paper's
+// series (one x column, one y column per curve).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mqpi::sim {
+
+class SeriesTable {
+ public:
+  SeriesTable(std::string title, std::string x_name,
+              std::vector<std::string> y_names);
+
+  /// Appends one row; ys.size() must equal the number of y columns
+  /// (missing values may be kUnknown and print as "-").
+  void AddRow(double x, std::vector<double> ys);
+
+  /// Column-aligned human-readable rendering.
+  void PrintText(std::ostream& os) const;
+  /// Same, to stdout.
+  void PrintText() const;
+
+  /// Machine-readable CSV (header + rows).
+  void PrintCsv(std::ostream& os) const;
+  /// Same, to stdout.
+  void PrintCsv() const;
+
+  const std::string& title() const { return title_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    double x;
+    std::vector<double> ys;
+  };
+  std::string title_;
+  std::string x_name_;
+  std::vector<std::string> y_names_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mqpi::sim

@@ -1,0 +1,84 @@
+#include "sim/runner.h"
+
+#include <algorithm>
+
+namespace mqpi::sim {
+
+SimulationRunner::SimulationRunner(sched::Rdbms* db, pi::PiManager* pis)
+    : db_(db), pis_(pis) {}
+
+void SimulationRunner::ScheduleArrival(SimTime time, engine::QuerySpec spec,
+                                       Priority priority) {
+  PendingArrival arrival{time, std::move(spec), priority};
+  // Insert keeping [next_arrival_, end) sorted by time.
+  auto it = std::lower_bound(
+      schedule_.begin() + static_cast<std::ptrdiff_t>(next_arrival_),
+      schedule_.end(), arrival.time,
+      [](const PendingArrival& a, SimTime t) { return a.time < t; });
+  schedule_.insert(it, std::move(arrival));
+}
+
+Result<QueryId> SimulationRunner::SubmitNow(const engine::QuerySpec& spec,
+                                            Priority priority) {
+  auto id = db_->Submit(spec, priority);
+  if (id.ok()) submitted_.push_back(*id);
+  return id;
+}
+
+void SimulationRunner::SubmitDueArrivals() {
+  while (next_arrival_ < schedule_.size() &&
+         schedule_[next_arrival_].time <= db_->now() + kTimeEpsilon) {
+    const PendingArrival& arrival = schedule_[next_arrival_++];
+    auto id = db_->Submit(arrival.spec, arrival.priority);
+    if (id.ok()) submitted_.push_back(*id);
+  }
+}
+
+void SimulationRunner::StepFor(SimTime dt) {
+  const SimTime quantum = db_->options().quantum;
+  SimTime remaining = dt;
+  while (remaining > kTimeEpsilon) {
+    SubmitDueArrivals();
+    const SimTime step = std::min(remaining, quantum);
+    db_->Step(step);
+    if (pis_ != nullptr) pis_->AfterStep();
+    remaining -= step;
+  }
+  SubmitDueArrivals();
+}
+
+bool SimulationRunner::AllTerminal(const std::vector<QueryId>& ids) const {
+  for (QueryId id : ids) {
+    auto info = db_->info(id);
+    if (!info.ok()) return false;
+    if (info->state != sched::QueryState::kFinished &&
+        info->state != sched::QueryState::kAborted) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SimTime SimulationRunner::RunUntilFinished(const std::vector<QueryId>& watch,
+                                           SimTime deadline) {
+  while (!AllTerminal(watch) && db_->now() < deadline - kTimeEpsilon) {
+    StepFor(db_->options().quantum);
+  }
+  return db_->now();
+}
+
+SimTime SimulationRunner::RunUntilIdle(SimTime deadline) {
+  while ((!db_->Idle() || next_arrival_ < schedule_.size()) &&
+         db_->now() < deadline - kTimeEpsilon) {
+    StepFor(db_->options().quantum);
+  }
+  return db_->now();
+}
+
+SimTime SimulationRunner::FinishTimeOf(QueryId id) const {
+  auto info = db_->info(id);
+  if (!info.ok()) return kUnknown;
+  return info->finish_time;
+}
+
+}  // namespace mqpi::sim

@@ -1,0 +1,72 @@
+// SimulationRunner: drives one Rdbms scenario — submits scheduled
+// arrivals on time, steps the clock quantum by quantum, feeds an
+// optional PiManager after every quantum, and records when each query
+// finishes. Ground-truth remaining times for accuracy experiments come
+// from these recorded finish times.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "engine/planner.h"
+#include "pi/pi_manager.h"
+#include "sched/rdbms.h"
+#include "workload/zipf_workload.h"
+
+namespace mqpi::sim {
+
+struct PendingArrival {
+  SimTime time = 0.0;
+  engine::QuerySpec spec;
+  Priority priority = Priority::kNormal;
+};
+
+class SimulationRunner {
+ public:
+  /// `db` required; `pis` optional (may be nullptr). Both must outlive
+  /// the runner.
+  SimulationRunner(sched::Rdbms* db, pi::PiManager* pis = nullptr);
+
+  /// Registers a future arrival; must not be in the past.
+  void ScheduleArrival(SimTime time, engine::QuerySpec spec,
+                       Priority priority = Priority::kNormal);
+
+  /// Submits a query right now (bypassing the schedule).
+  Result<QueryId> SubmitNow(const engine::QuerySpec& spec,
+                            Priority priority = Priority::kNormal);
+
+  /// Steps for `dt` simulated seconds (quantum granularity), submitting
+  /// due arrivals and feeding the PiManager.
+  void StepFor(SimTime dt);
+
+  /// Steps until every query in `watch` reaches a terminal state or
+  /// `deadline` passes. Returns the final simulated time.
+  SimTime RunUntilFinished(const std::vector<QueryId>& watch,
+                           SimTime deadline = kInfiniteTime);
+
+  /// Steps until the whole system is idle (no running or queued work
+  /// and no pending scheduled arrivals), or `deadline`.
+  SimTime RunUntilIdle(SimTime deadline = kInfiniteTime);
+
+  /// Finish (or abort) time of a query, kUnknown if still live.
+  SimTime FinishTimeOf(QueryId id) const;
+
+  /// All ids submitted through this runner, in submission order.
+  const std::vector<QueryId>& submitted() const { return submitted_; }
+
+  sched::Rdbms* db() { return db_; }
+
+ private:
+  void SubmitDueArrivals();
+  bool AllTerminal(const std::vector<QueryId>& ids) const;
+
+  sched::Rdbms* db_;
+  pi::PiManager* pis_;
+  std::vector<PendingArrival> schedule_;  // kept sorted by time
+  std::size_t next_arrival_ = 0;
+  std::vector<QueryId> submitted_;
+};
+
+}  // namespace mqpi::sim

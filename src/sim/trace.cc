@@ -1,0 +1,53 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace mqpi::sim {
+
+EventTrace::EventTrace(sched::Rdbms* db) {
+  db->AddEventListener(
+      [this](const sched::QueryEvent& event) { events_.push_back(event); });
+}
+
+std::vector<sched::QueryEvent> EventTrace::Filter(
+    sched::QueryEventKind kind) const {
+  std::vector<sched::QueryEvent> out;
+  for (const auto& event : events_) {
+    if (event.kind == kind) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<sched::QueryEvent> EventTrace::ForQuery(QueryId id) const {
+  std::vector<sched::QueryEvent> out;
+  for (const auto& event : events_) {
+    if (event.info.id == id) out.push_back(event);
+  }
+  return out;
+}
+
+SimTime EventTrace::QueueingDelayOf(QueryId id) const {
+  SimTime submitted = kUnknown;
+  for (const auto& event : events_) {
+    if (event.info.id != id) continue;
+    if (event.kind == sched::QueryEventKind::kSubmitted) {
+      submitted = event.time;
+    } else if (event.kind == sched::QueryEventKind::kStarted &&
+               submitted != kUnknown) {
+      return event.time - submitted;
+    }
+  }
+  return kUnknown;
+}
+
+void EventTrace::PrintCsv(std::ostream& os) const {
+  os << "time,kind,query,state,completed,remaining\n";
+  for (const auto& event : events_) {
+    os << event.time << "," << sched::QueryEventKindName(event.kind) << ","
+       << event.info.id << "," << sched::QueryStateName(event.info.state)
+       << "," << event.info.completed_work << ","
+       << event.info.estimated_remaining_cost << "\n";
+  }
+}
+
+}  // namespace mqpi::sim

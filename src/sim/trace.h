@@ -1,0 +1,39 @@
+// EventTrace: records every query lifecycle event from an Rdbms for
+// post-hoc analysis and CSV export — the experiment-side complement of
+// the Rdbms event-listener hook.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "sched/rdbms.h"
+
+namespace mqpi::sim {
+
+class EventTrace {
+ public:
+  /// Subscribes to `db`; the trace must outlive the Rdbms's stepping.
+  explicit EventTrace(sched::Rdbms* db);
+
+  const std::vector<sched::QueryEvent>& events() const { return events_; }
+
+  /// Events of one kind, in order.
+  std::vector<sched::QueryEvent> Filter(sched::QueryEventKind kind) const;
+
+  /// Events of one query, in order.
+  std::vector<sched::QueryEvent> ForQuery(QueryId id) const;
+
+  /// Wall-clock span a query spent in the admission queue (submit ->
+  /// start); kUnknown if it never started.
+  SimTime QueueingDelayOf(QueryId id) const;
+
+  /// CSV: time,kind,query,state,completed,remaining.
+  void PrintCsv(std::ostream& os) const;
+
+  void Clear() { events_.clear(); }
+
+ private:
+  std::vector<sched::QueryEvent> events_;
+};
+
+}  // namespace mqpi::sim

@@ -1,0 +1,31 @@
+#include "storage/buffer_manager.h"
+
+namespace mqpi::storage {
+
+BufferManager::BufferManager(BufferOptions options)
+    : options_(options) {}
+
+BufferManager::AccessResult BufferManager::AccessDetailed(PageId page) {
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return AccessResult{options_.cost_per_hit, true};
+  }
+  ++stats_.misses;
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+  if (lru_.size() > options_.capacity_pages) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return AccessResult{options_.cost_per_miss, false};
+}
+
+void BufferManager::Reset() {
+  stats_ = BufferStats{};
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace mqpi::storage

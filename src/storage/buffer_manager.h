@@ -1,0 +1,109 @@
+// BufferManager: the work-unit meter.
+//
+// The paper defines one work unit U as "the amount of work required to
+// process one page of bytes". Every operator routes its page touches
+// through a BufferAccount, which (a) charges exactly 1 U per page
+// processed, and (b) maintains an LRU-simulated hit/miss statistic so
+// experiments can report buffer behaviour. Charging is independent of
+// hit/miss by default — U measures processing, not I/O — but a miss
+// surcharge can be configured to model I/O-bound regimes (used by the
+// assumption-violation ablation).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/units.h"
+#include "storage/page.h"
+
+namespace mqpi::storage {
+
+struct BufferOptions {
+  /// Pages the simulated buffer pool can hold.
+  std::size_t capacity_pages = 8192;
+  /// Work units charged for a page found in the pool.
+  double cost_per_hit = 1.0;
+  /// Work units charged for a page faulted in. Equal to cost_per_hit by
+  /// default (U counts processing); raise it to emulate I/O pressure.
+  double cost_per_miss = 1.0;
+};
+
+struct BufferStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  double HitRate() const {
+    const std::uint64_t total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+/// Shared LRU page pool. Not thread-safe: the whole simulator is
+/// single-threaded by design (deterministic simulated time).
+class BufferManager {
+ public:
+  explicit BufferManager(BufferOptions options = {});
+
+  struct AccessResult {
+    WorkUnits charge = 0.0;
+    bool hit = false;
+  };
+
+  /// Touches a page: updates LRU + stats, returns the work-unit charge.
+  WorkUnits Access(PageId page) { return AccessDetailed(page).charge; }
+
+  /// Same, also reporting whether the page was resident.
+  AccessResult AccessDetailed(PageId page);
+
+  const BufferOptions& options() const { return options_; }
+  const BufferStats& stats() const { return stats_; }
+  std::size_t resident_pages() const { return lru_.size(); }
+
+  /// Drops all cached pages and zeroes statistics.
+  void Reset();
+
+ private:
+  BufferOptions options_;
+  BufferStats stats_;
+  std::list<PageId> lru_;  // front = most recent
+  std::unordered_map<PageId, std::list<PageId>::iterator, PageIdHash> map_;
+};
+
+/// Per-query view over the shared BufferManager: accumulates the work
+/// units this query has been charged. Operators hold a BufferAccount*.
+class BufferAccount {
+ public:
+  explicit BufferAccount(BufferManager* manager) : manager_(manager) {}
+
+  /// Touch one page and accumulate its charge.
+  void Touch(PageId page) {
+    const auto result = manager_->AccessDetailed(page);
+    charged_ += result.charge;
+    ++pages_;
+    if (result.hit) ++hits_;
+  }
+
+  /// Charge abstract work without a concrete page (e.g. CPU-only work
+  /// for expression-heavy operators or synthetic queries).
+  void Charge(WorkUnits units) { charged_ += units; }
+
+  WorkUnits charged() const { return charged_; }
+
+  /// Pages this account touched (EXPLAIN ANALYZE-style statistics).
+  std::uint64_t pages_accessed() const { return pages_; }
+  std::uint64_t buffer_hits() const { return hits_; }
+  double hit_rate() const {
+    return pages_ ? static_cast<double>(hits_) /
+                        static_cast<double>(pages_)
+                  : 0.0;
+  }
+
+ private:
+  BufferManager* manager_;
+  WorkUnits charged_ = 0.0;
+  std::uint64_t pages_ = 0;
+  std::uint64_t hits_ = 0;
+};
+
+}  // namespace mqpi::storage

@@ -1,0 +1,170 @@
+#include "storage/catalog.h"
+
+namespace mqpi::storage {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<Table>(next_id_++, name, std::move(schema));
+  Table* raw = table.get();
+  tables_.emplace(name, std::move(table));
+  return raw;
+}
+
+Result<Index*> Catalog::CreateIndex(const std::string& index_name,
+                                    const std::string& table_name,
+                                    const std::string& column) {
+  if (indexes_.count(index_name)) {
+    return Status::AlreadyExists("index '" + index_name + "' already exists");
+  }
+  auto table = GetTable(table_name);
+  if (!table.ok()) return table.status();
+  auto built = Index::Build(next_id_++, index_name, **table, column);
+  if (!built.ok()) return built.status();
+  auto index = std::make_unique<Index>(std::move(built).value());
+  Index* raw = index.get();
+  indexes_.emplace(index_name, std::move(index));
+  return raw;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  const ObjectId table_id = it->second->id();
+  // Cascade: indexes on this table.
+  for (auto index_it = indexes_.begin(); index_it != indexes_.end();) {
+    if (index_it->second->table_id() == table_id) {
+      index_it = indexes_.erase(index_it);
+    } else {
+      ++index_it;
+    }
+  }
+  // Statistics and histograms.
+  stats_.erase(name);
+  const std::string prefix = name + ".";
+  for (auto hist_it = histograms_.begin(); hist_it != histograms_.end();) {
+    if (hist_it->first.rfind(prefix, 0) == 0) {
+      hist_it = histograms_.erase(hist_it);
+    } else {
+      ++hist_it;
+    }
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(const std::string& name) {
+  if (indexes_.erase(name) == 0) {
+    return Status::NotFound("index '" + name + "' not found");
+  }
+  return Status::OK();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return it->second.get();
+}
+
+Result<const Table*> Catalog::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("table '" + name + "' not found");
+  }
+  return static_cast<const Table*>(it->second.get());
+}
+
+Result<const Index*> Catalog::GetIndex(const std::string& name) const {
+  auto it = indexes_.find(name);
+  if (it == indexes_.end()) {
+    return Status::NotFound("index '" + name + "' not found");
+  }
+  return static_cast<const Index*>(it->second.get());
+}
+
+Result<const Index*> Catalog::IndexOnTable(ObjectId table_id) const {
+  for (const auto& [name, index] : indexes_) {
+    if (index->table_id() == table_id) {
+      return static_cast<const Index*>(index.get());
+    }
+  }
+  return Status::NotFound("no index on table id " + std::to_string(table_id));
+}
+
+Status Catalog::Analyze(const std::string& table_name) {
+  auto table = GetTable(table_name);
+  if (!table.ok()) return table.status();
+  TableStats stats;
+  stats.num_tuples = (*table)->num_tuples();
+  stats.num_pages = (*table)->num_pages();
+  auto index = IndexOnTable((*table)->id());
+  if (index.ok() && (*index)->num_entries() > 0) {
+    stats.min_key = (*index)->min_key();
+    stats.max_key = (*index)->max_key();
+    stats.num_distinct_keys = (*index)->num_distinct_keys();
+    stats.avg_matches_per_key =
+        stats.num_distinct_keys
+            ? static_cast<double>(stats.num_tuples) /
+                  static_cast<double>(stats.num_distinct_keys)
+            : 0.0;
+  }
+  stats_[table_name] = stats;
+
+  // Column histograms for every numeric column.
+  const Schema& schema = (*table)->schema();
+  for (std::size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type == ColumnType::kString) continue;
+    auto histogram = Histogram::Build(**table, c);
+    if (histogram.ok()) {
+      histograms_.insert_or_assign(table_name + "." + schema.column(c).name,
+                                   std::move(*histogram));
+    }
+  }
+  return Status::OK();
+}
+
+Result<const Histogram*> Catalog::GetHistogram(
+    const std::string& table_name, const std::string& column) const {
+  auto it = histograms_.find(table_name + "." + column);
+  if (it == histograms_.end()) {
+    return Status::NotFound("no histogram for " + table_name + "." + column);
+  }
+  return &it->second;
+}
+
+Status Catalog::AnalyzeAll() {
+  for (const auto& [name, table] : tables_) {
+    MQPI_RETURN_NOT_OK(Analyze(name));
+  }
+  return Status::OK();
+}
+
+Result<TableStats> Catalog::GetStats(const std::string& table_name) const {
+  auto it = stats_.find(table_name);
+  if (it == stats_.end()) {
+    return Status::NotFound("no statistics for table '" + table_name +
+                            "' (run Analyze first)");
+  }
+  return it->second;
+}
+
+std::vector<const Table*> Catalog::tables() const {
+  std::vector<const Table*> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) out.push_back(table.get());
+  return out;
+}
+
+std::vector<const Index*> Catalog::indexes() const {
+  std::vector<const Index*> out;
+  out.reserve(indexes_.size());
+  for (const auto& [name, index] : indexes_) out.push_back(index.get());
+  return out;
+}
+
+}  // namespace mqpi::storage

@@ -1,0 +1,85 @@
+// Catalog: owns tables and indexes, assigns object ids, and holds the
+// optimizer statistics produced by Analyze() — the analogue of running
+// PostgreSQL's statistics collector before the experiments (paper §5.1).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/histogram.h"
+#include "storage/index.h"
+#include "storage/table.h"
+
+namespace mqpi::storage {
+
+/// Per-table statistics, as an optimizer would keep them.
+struct TableStats {
+  std::uint64_t num_tuples = 0;
+  std::uint64_t num_pages = 0;
+  /// For the indexed join column (if any): domain and density.
+  std::int64_t min_key = 0;
+  std::int64_t max_key = 0;
+  std::uint64_t num_distinct_keys = 0;
+  /// Average matching tuples per key (num_tuples / num_distinct_keys).
+  double avg_matches_per_key = 0.0;
+};
+
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails on duplicate name.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Builds an index over an existing table's int64 column.
+  Result<Index*> CreateIndex(const std::string& index_name,
+                             const std::string& table_name,
+                             const std::string& column);
+
+  /// Drops a table, its statistics, its histograms, and every index
+  /// built on it. Fails if the table does not exist.
+  Status DropTable(const std::string& name);
+
+  /// Drops one index. Fails if it does not exist.
+  Status DropIndex(const std::string& name);
+
+  Result<Table*> GetTable(const std::string& name);
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<const Index*> GetIndex(const std::string& name) const;
+
+  /// First index on the given table (NotFound if none).
+  Result<const Index*> IndexOnTable(ObjectId table_id) const;
+
+  /// Recomputes TableStats for one table (exact; the planner adds its
+  /// own noise to model imprecise statistics).
+  Status Analyze(const std::string& table_name);
+
+  /// Analyze every table.
+  Status AnalyzeAll();
+
+  Result<TableStats> GetStats(const std::string& table_name) const;
+
+  /// Column histogram built by Analyze (NotFound before Analyze or for
+  /// string columns).
+  Result<const Histogram*> GetHistogram(const std::string& table_name,
+                                        const std::string& column) const;
+
+  std::vector<const Table*> tables() const;
+  std::vector<const Index*> indexes() const;
+
+ private:
+  ObjectId next_id_ = 1;
+  std::unordered_map<std::string, std::unique_ptr<Table>> tables_;
+  std::unordered_map<std::string, std::unique_ptr<Index>> indexes_;
+  std::unordered_map<std::string, TableStats> stats_;
+  // Keyed "table.column".
+  std::unordered_map<std::string, Histogram> histograms_;
+};
+
+}  // namespace mqpi::storage

@@ -1,0 +1,82 @@
+#include "storage/histogram.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_set>
+
+namespace mqpi::storage {
+
+Result<Histogram> Histogram::Build(const Table& table, std::size_t column,
+                                   int buckets) {
+  if (buckets < 1) {
+    return Status::InvalidArgument("histogram needs >= 1 bucket");
+  }
+  if (column >= table.schema().num_columns()) {
+    return Status::OutOfRange("column index " + std::to_string(column) +
+                              " out of range");
+  }
+  if (table.schema().column(column).type == ColumnType::kString) {
+    return Status::InvalidArgument("histograms require a numeric column");
+  }
+
+  Histogram h;
+  h.count_ = table.num_tuples();
+  h.counts_.assign(static_cast<std::size_t>(buckets), 0);
+  if (h.count_ == 0) return h;
+
+  h.min_ = h.max_ = AsDouble(table.Get(0).at(column));
+  for (RowId r = 1; r < table.num_tuples(); ++r) {
+    const double v = AsDouble(table.Get(r).at(column));
+    h.min_ = std::min(h.min_, v);
+    h.max_ = std::max(h.max_, v);
+  }
+  const double width =
+      h.max_ > h.min_ ? (h.max_ - h.min_) / buckets : 1.0;
+  std::unordered_set<double> distinct;
+  for (RowId r = 0; r < table.num_tuples(); ++r) {
+    const double v = AsDouble(table.Get(r).at(column));
+    auto b = static_cast<std::size_t>((v - h.min_) / width);
+    if (b >= h.counts_.size()) b = h.counts_.size() - 1;
+    ++h.counts_[b];
+    distinct.insert(v);
+  }
+  h.num_distinct_ = distinct.size();
+  return h;
+}
+
+double Histogram::SelectivityGreaterThan(double v) const {
+  if (count_ == 0) return 0.0;
+  if (v < min_) return 1.0;
+  if (v >= max_) return 0.0;
+  const double width =
+      max_ > min_ ? (max_ - min_) / static_cast<double>(counts_.size()) : 1.0;
+  auto bucket = static_cast<std::size_t>((v - min_) / width);
+  if (bucket >= counts_.size()) bucket = counts_.size() - 1;
+
+  // Rows strictly above the containing bucket...
+  std::size_t above = 0;
+  for (std::size_t b = bucket + 1; b < counts_.size(); ++b) {
+    above += counts_[b];
+  }
+  // ...plus the interpolated share of the containing bucket.
+  const double bucket_lo = min_ + static_cast<double>(bucket) * width;
+  const double frac_above = 1.0 - (v - bucket_lo) / width;
+  const double est =
+      static_cast<double>(above) +
+      frac_above * static_cast<double>(counts_[bucket]);
+  return est / static_cast<double>(count_);
+}
+
+double Histogram::EstimatedMean() const {
+  if (count_ == 0) return 0.0;
+  const double width =
+      max_ > min_ ? (max_ - min_) / static_cast<double>(counts_.size()) : 0.0;
+  double sum = 0.0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double mid = min_ + (static_cast<double>(b) + 0.5) * width;
+    sum += mid * static_cast<double>(counts_[b]);
+  }
+  return sum / static_cast<double>(count_);
+}
+
+}  // namespace mqpi::storage

@@ -1,0 +1,52 @@
+// Equi-width column histograms — the statistics a cost-based optimizer
+// keeps for selectivity estimation. Analyze() builds one per numeric
+// column; the planner uses them to estimate result cardinalities (e.g.
+// what fraction of part tuples satisfy the paper's price predicate).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace mqpi::storage {
+
+class Histogram {
+ public:
+  /// Builds an equi-width histogram over a numeric (int64/double)
+  /// column. Fails on string columns. `buckets` >= 1.
+  static Result<Histogram> Build(const Table& table, std::size_t column,
+                                 int buckets = 32);
+
+  std::size_t num_rows() const { return count_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  int num_buckets() const { return static_cast<int>(counts_.size()); }
+
+  /// Estimated fraction of rows with value > v (linear interpolation
+  /// within the containing bucket).
+  double SelectivityGreaterThan(double v) const;
+
+  /// Estimated fraction of rows with value <= v.
+  double SelectivityAtMost(double v) const {
+    return 1.0 - SelectivityGreaterThan(v);
+  }
+
+  /// Estimated mean of the column (bucket midpoints weighted by count).
+  double EstimatedMean() const;
+
+  /// Exact number of distinct values (computed at build time).
+  std::size_t num_distinct() const { return num_distinct_; }
+
+ private:
+  Histogram() = default;
+
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::size_t count_ = 0;
+  std::size_t num_distinct_ = 0;
+  std::vector<std::size_t> counts_;
+};
+
+}  // namespace mqpi::storage

@@ -1,0 +1,100 @@
+#include "storage/index.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mqpi::storage {
+
+namespace {
+// Key (8) + RowId (8) + slot/line-pointer overhead (4).
+constexpr std::size_t kEntryBytes = 20;
+}  // namespace
+
+Result<Index> Index::Build(ObjectId id, std::string name, const Table& table,
+                           const std::string& column) {
+  auto col = table.schema().ColumnIndex(column);
+  if (!col.ok()) return col.status();
+  if (table.schema().column(*col).type != ColumnType::kInt64) {
+    return Status::InvalidArgument("index column '" + column +
+                                   "' is not int64");
+  }
+  std::vector<Entry> entries;
+  entries.reserve(table.num_tuples());
+  for (RowId r = 0; r < table.num_tuples(); ++r) {
+    entries.push_back(Entry{AsInt(table.Get(r).at(*col)), r});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              return a.key != b.key ? a.key < b.key : a.row < b.row;
+            });
+  return Index(id, std::move(name), table.id(), *col, std::move(entries));
+}
+
+Index::Index(ObjectId id, std::string name, ObjectId table_id,
+             std::size_t column_index, std::vector<Entry> entries)
+    : id_(id),
+      name_(std::move(name)),
+      table_id_(table_id),
+      column_index_(column_index),
+      entries_(std::move(entries)) {
+  leaf_fanout_ = std::max<std::size_t>(2, kPageBytes / kEntryBytes);
+  std::uint64_t leaves =
+      entries_.empty()
+          ? 1
+          : (entries_.size() + leaf_fanout_ - 1) / leaf_fanout_;
+  // Inner fanout: separator key (8) + child pointer (8).
+  const std::uint64_t inner_fanout = kPageBytes / 16;
+  num_pages_ = leaves;
+  height_ = 1;
+  std::uint64_t level = leaves;
+  while (level > 1) {
+    level = (level + inner_fanout - 1) / inner_fanout;
+    num_pages_ += level;
+    ++height_;
+  }
+  num_distinct_ = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i == 0 || entries_[i].key != entries_[i - 1].key) ++num_distinct_;
+  }
+}
+
+std::span<const Index::Entry> Index::Lookup(std::int64_t key) const {
+  auto lo = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const Entry& e, std::int64_t k) { return e.key < k; });
+  auto hi = std::upper_bound(
+      lo, entries_.end(), key,
+      [](std::int64_t k, const Entry& e) { return k < e.key; });
+  return {entries_.data() + (lo - entries_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+std::span<const Index::Entry> Index::LookupRange(std::int64_t lo,
+                                                 std::int64_t hi) const {
+  if (lo > hi) return {};
+  auto begin = std::lower_bound(
+      entries_.begin(), entries_.end(), lo,
+      [](const Entry& e, std::int64_t k) { return e.key < k; });
+  auto end = std::upper_bound(
+      begin, entries_.end(), hi,
+      [](std::int64_t k, const Entry& e) { return k < e.key; });
+  return {entries_.data() + (begin - entries_.begin()),
+          static_cast<std::size_t>(end - begin)};
+}
+
+std::uint64_t Index::LeafPagesForMatches(std::size_t matches) const {
+  if (matches == 0) return 1;  // the probe still reads one leaf
+  return (matches + leaf_fanout_ - 1) / leaf_fanout_;
+}
+
+std::int64_t Index::min_key() const {
+  assert(!entries_.empty());
+  return entries_.front().key;
+}
+
+std::int64_t Index::max_key() const {
+  assert(!entries_.empty());
+  return entries_.back().key;
+}
+
+}  // namespace mqpi::storage

@@ -1,0 +1,79 @@
+// B-tree-style secondary index on an int64 column.
+//
+// Entries are (key, row) pairs kept sorted; the logical page structure
+// (leaf and inner fanout derived from entry width) is modelled exactly,
+// because the executor charges one work unit per index page touched on
+// every probe — this is what gives the paper's correlated sub-query its
+// per-outer-tuple cost.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/table.h"
+
+namespace mqpi::storage {
+
+class Index {
+ public:
+  struct Entry {
+    std::int64_t key;
+    RowId row;
+  };
+
+  /// Builds an index over `table` on the int64 column `column`.
+  /// Fails if the column is missing or not kInt64.
+  static Result<Index> Build(ObjectId id, std::string name,
+                             const Table& table, const std::string& column);
+
+  ObjectId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  ObjectId table_id() const { return table_id_; }
+  std::size_t column_index() const { return column_index_; }
+
+  std::size_t num_entries() const { return entries_.size(); }
+
+  /// Entries per leaf page (key + rowid + slot overhead on kPageBytes).
+  std::size_t leaf_fanout() const { return leaf_fanout_; }
+
+  /// Total logical pages: leaves plus inner levels.
+  std::uint64_t num_pages() const { return num_pages_; }
+
+  /// Tree height in pages touched per point probe (root..leaf, >= 1).
+  std::uint32_t height() const { return height_; }
+
+  /// All entries with the given key (empty span if none).
+  std::span<const Entry> Lookup(std::int64_t key) const;
+
+  /// All entries with lo <= key <= hi (empty span if none).
+  std::span<const Entry> LookupRange(std::int64_t lo, std::int64_t hi) const;
+
+  /// Leaf pages a probe returning `matches` entries must read (>= 1).
+  std::uint64_t LeafPagesForMatches(std::size_t matches) const;
+
+  std::int64_t min_key() const;
+  std::int64_t max_key() const;
+
+  /// Number of distinct keys present.
+  std::size_t num_distinct_keys() const { return num_distinct_; }
+
+ private:
+  Index(ObjectId id, std::string name, ObjectId table_id,
+        std::size_t column_index, std::vector<Entry> entries);
+
+  ObjectId id_;
+  std::string name_;
+  ObjectId table_id_;
+  std::size_t column_index_;
+  std::vector<Entry> entries_;  // sorted by (key, row)
+  std::size_t leaf_fanout_;
+  std::uint64_t num_pages_;
+  std::uint32_t height_;
+  std::size_t num_distinct_;
+};
+
+}  // namespace mqpi::storage

@@ -1,0 +1,38 @@
+// Page geometry constants and identifiers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace mqpi::storage {
+
+/// Logical page size. 8 KiB, matching PostgreSQL (the paper's prototype
+/// host). One page processed == one work unit U.
+inline constexpr std::size_t kPageBytes = 8192;
+
+/// Identifier of a table or index registered in the catalog.
+using ObjectId = std::uint32_t;
+inline constexpr ObjectId kInvalidObjectId = ~ObjectId{0};
+
+/// Row position within a table's heap (dense, append-only).
+using RowId = std::uint64_t;
+
+/// A page within one storage object.
+struct PageId {
+  ObjectId object = kInvalidObjectId;
+  std::uint64_t page_no = 0;
+
+  bool operator==(const PageId& other) const = default;
+};
+
+struct PageIdHash {
+  std::size_t operator()(const PageId& id) const {
+    std::size_t h = std::hash<std::uint64_t>{}(id.page_no);
+    h ^= std::hash<std::uint32_t>{}(id.object) + 0x9e3779b9 + (h << 6) +
+         (h >> 2);
+    return h;
+  }
+};
+
+}  // namespace mqpi::storage

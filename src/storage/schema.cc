@@ -1,0 +1,35 @@
+#include "storage/schema.h"
+
+namespace mqpi::storage {
+
+namespace {
+// Matches typical slotted-page tuple headers (e.g. PostgreSQL's ~23-byte
+// HeapTupleHeader rounded up).
+constexpr std::size_t kTupleHeaderBytes = 24;
+}  // namespace
+
+std::size_t ColumnWidth(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return 8;
+    case ColumnType::kDouble:
+      return 8;
+    case ColumnType::kString:
+      return 32;  // nominal average varchar payload
+  }
+  return 8;
+}
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  row_width_ = kTupleHeaderBytes;
+  for (const auto& c : columns_) row_width_ += ColumnWidth(c.type);
+}
+
+Result<std::size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+}  // namespace mqpi::storage

@@ -1,0 +1,46 @@
+// Table schemas: ordered, typed, named columns. The row width derived
+// from the column types determines how many tuples fit on one page,
+// which in turn defines the work-unit cost of scanning a table (the
+// paper's U = work to process one page of bytes).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mqpi::storage {
+
+enum class ColumnType : std::uint8_t { kInt64, kDouble, kString };
+
+/// Nominal on-disk width in bytes, used for page-capacity accounting.
+std::size_t ColumnWidth(ColumnType type);
+
+struct Column {
+  std::string name;
+  ColumnType type;
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  std::size_t num_columns() const { return columns_.size(); }
+  const Column& column(std::size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the named column, or NotFound.
+  Result<std::size_t> ColumnIndex(const std::string& name) const;
+
+  /// Sum of column widths plus a fixed per-tuple header.
+  std::size_t RowWidthBytes() const { return row_width_; }
+
+ private:
+  std::vector<Column> columns_;
+  std::size_t row_width_ = 0;
+};
+
+}  // namespace mqpi::storage

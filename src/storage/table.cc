@@ -1,0 +1,28 @@
+#include "storage/table.h"
+
+#include <algorithm>
+
+namespace mqpi::storage {
+
+Table::Table(ObjectId id, std::string name, Schema schema)
+    : id_(id), name_(std::move(name)), schema_(std::move(schema)) {
+  tuples_per_page_ =
+      std::max<std::size_t>(1, kPageBytes / schema_.RowWidthBytes());
+}
+
+Status Table::Append(Tuple tuple) {
+  if (tuple.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != schema arity " +
+        std::to_string(schema_.num_columns()) + " for table " + name_);
+  }
+  tuples_.push_back(std::move(tuple));
+  return Status::OK();
+}
+
+std::uint64_t Table::num_pages() const {
+  if (tuples_.empty()) return 0;
+  return (tuples_.size() + tuples_per_page_ - 1) / tuples_per_page_;
+}
+
+}  // namespace mqpi::storage

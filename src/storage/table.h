@@ -1,0 +1,60 @@
+// Append-only heap table: tuples laid out densely on fixed-size pages.
+// The page layout is what gives queries their work-unit cost; the
+// in-memory representation is a plain vector for speed.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/page.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mqpi::storage {
+
+class Table {
+ public:
+  Table(ObjectId id, std::string name, Schema schema);
+
+  ObjectId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Appends a tuple; the tuple must match the schema arity.
+  Status Append(Tuple tuple);
+
+  std::size_t num_tuples() const { return tuples_.size(); }
+
+  /// Tuples that fit on one kPageBytes page given the schema row width
+  /// (at least 1).
+  std::size_t tuples_per_page() const { return tuples_per_page_; }
+
+  /// Number of heap pages (ceil division; 0 for an empty table).
+  std::uint64_t num_pages() const;
+
+  /// Nominal total size in bytes (pages * kPageBytes).
+  std::uint64_t size_bytes() const { return num_pages() * kPageBytes; }
+
+  /// The heap page holding `row`.
+  std::uint64_t PageOfRow(RowId row) const {
+    return row / tuples_per_page_;
+  }
+
+  /// First row on page `page_no`.
+  RowId FirstRowOnPage(std::uint64_t page_no) const {
+    return page_no * tuples_per_page_;
+  }
+
+  const Tuple& Get(RowId row) const { return tuples_[row]; }
+
+ private:
+  ObjectId id_;
+  std::string name_;
+  Schema schema_;
+  std::size_t tuples_per_page_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace mqpi::storage

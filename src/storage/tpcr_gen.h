@@ -1,0 +1,58 @@
+// Generator for the paper's test data set (Table 1):
+//
+//   lineitem (orderkey, partkey, suppkey, quantity, extendedprice)
+//   part_i   (partkey, retailprice)            for i >= 1
+//
+// lineitem holds `matches_per_key` tuples (on average) for each of
+// `num_part_keys` distinct partkey values, shuffled so that the matches
+// for one key scatter across heap pages (as the paper's randomly
+// distributed keys do). Each part_i table holds 10 * N_i tuples with
+// distinct random partkeys, so on average each part tuple matches ~30
+// lineitem tuples via the partkey index — exactly the paper's workload
+// structure, at a configurable scale factor.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "storage/catalog.h"
+
+namespace mqpi::storage {
+
+struct TpcrConfig {
+  /// Distinct partkey values appearing in lineitem. This bounds the
+  /// largest possible part table (10 * N_i <= num_part_keys).
+  std::int64_t num_part_keys = 5000;
+  /// Average lineitem tuples matching one partkey (paper: 30).
+  int matches_per_key = 30;
+  /// Seed for all generated data.
+  std::uint64_t seed = 42;
+};
+
+class TpcrGenerator {
+ public:
+  explicit TpcrGenerator(TpcrConfig config);
+
+  const TpcrConfig& config() const { return config_; }
+
+  /// Creates and populates `lineitem`, builds `lineitem_partkey_idx`,
+  /// and analyzes the table. Fails if lineitem already exists.
+  Status BuildLineitem(Catalog* catalog);
+
+  /// Creates and populates a part table named `name` with 10 * n_i
+  /// tuples (the paper's part_i sizing) and analyzes it.
+  /// Requires 10 * n_i <= num_part_keys.
+  Status BuildPartTable(Catalog* catalog, const std::string& name,
+                        std::int64_t n_i);
+
+  /// Convenience: "part_<i>".
+  static std::string PartTableName(int i);
+
+ private:
+  TpcrConfig config_;
+  Rng rng_;
+};
+
+}  // namespace mqpi::storage

@@ -1,0 +1,25 @@
+// A tuple is an ordered row of Values conforming to some Schema.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "storage/value.h"
+
+namespace mqpi::storage {
+
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  std::size_t size() const { return values_.size(); }
+  const Value& at(std::size_t i) const { return values_[i]; }
+  Value& at(std::size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace mqpi::storage

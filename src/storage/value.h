@@ -1,0 +1,33 @@
+// Runtime values. The paper's workload (TPC-R lineitem / part_i with a
+// correlated aggregate sub-query) only needs integers and doubles, but
+// strings are supported for completeness of the storage layer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace mqpi::storage {
+
+using Value = std::variant<std::int64_t, double, std::string>;
+
+inline std::int64_t AsInt(const Value& v) { return std::get<std::int64_t>(v); }
+inline double AsDouble(const Value& v) {
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  return static_cast<double>(std::get<std::int64_t>(v));
+}
+inline const std::string& AsString(const Value& v) {
+  return std::get<std::string>(v);
+}
+
+inline std::string ValueToString(const Value& v) {
+  if (std::holds_alternative<std::int64_t>(v)) {
+    return std::to_string(std::get<std::int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) {
+    return std::to_string(std::get<double>(v));
+  }
+  return std::get<std::string>(v);
+}
+
+}  // namespace mqpi::storage

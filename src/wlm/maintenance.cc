@@ -1,0 +1,178 @@
+#include "wlm/maintenance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+namespace mqpi::wlm {
+
+namespace {
+
+Status Validate(const std::vector<MaintenanceQuery>& queries, SimTime deadline,
+                double rate) {
+  if (rate <= 0.0) {
+    return Status::InvalidArgument("aggregate rate must be positive");
+  }
+  if (deadline < 0.0) {
+    return Status::InvalidArgument("deadline must be >= 0");
+  }
+  for (const MaintenanceQuery& q : queries) {
+    if (q.completed < 0.0 || q.remaining < 0.0) {
+      return Status::InvalidArgument("query " + std::to_string(q.id) +
+                                     " has negative work figures");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MaintenancePlan> MaintenancePlanner::PlanGreedy(
+    const std::vector<MaintenanceQuery>& queries, SimTime deadline,
+    double rate, LossMetric metric) {
+  MQPI_RETURN_NOT_OK(Validate(queries, deadline, rate));
+
+  const WorkUnits budget = rate * deadline;
+  WorkUnits total_remaining = 0.0;
+  for (const MaintenanceQuery& q : queries) total_remaining += q.remaining;
+
+  MaintenancePlan plan;
+  if (total_remaining <= budget) {
+    plan.quiescent_time = total_remaining / rate;
+    return plan;  // everything fits; abort nothing
+  }
+
+  // Ascending loss / V == ascending loss / remaining (V_i = c_i / C).
+  // Zero-remaining queries never help the deadline; skip them.
+  std::vector<const MaintenanceQuery*> order;
+  order.reserve(queries.size());
+  for (const MaintenanceQuery& q : queries) {
+    if (q.remaining > 0.0) order.push_back(&q);
+  }
+  std::sort(order.begin(), order.end(),
+            [metric](const MaintenanceQuery* a, const MaintenanceQuery* b) {
+              const double lhs = LossOf(*a, metric) * b->remaining;
+              const double rhs = LossOf(*b, metric) * a->remaining;
+              if (lhs != rhs) return lhs < rhs;
+              return a->id < b->id;
+            });
+
+  for (const MaintenanceQuery* q : order) {
+    if (total_remaining <= budget) break;
+    plan.abort_now.push_back(q->id);
+    plan.lost_work += LossOf(*q, metric);
+    total_remaining -= q->remaining;
+  }
+  plan.quiescent_time = total_remaining / rate;
+  return plan;
+}
+
+Result<MaintenancePlan> MaintenancePlanner::PlanOptimal(
+    const std::vector<MaintenanceQuery>& queries, SimTime deadline,
+    double rate, LossMetric metric, int buckets) {
+  MQPI_RETURN_NOT_OK(Validate(queries, deadline, rate));
+  if (buckets < 1) {
+    return Status::InvalidArgument("buckets must be >= 1");
+  }
+
+  const WorkUnits budget = rate * deadline;
+  const std::size_t n = queries.size();
+
+  // Paper-scale instances (n <= 20) get exact subset enumeration: the
+  // greedy routinely keeps sets that fit the budget by a hair, and any
+  // cost quantization would spuriously reject them.
+  if (n <= 20) {
+    double best_loss = std::numeric_limits<double>::infinity();
+    std::uint32_t best_mask = 0;  // bit set = kept
+    const auto limit = static_cast<std::uint32_t>(1u << n);
+    for (std::uint32_t mask = 0; mask < limit; ++mask) {
+      double kept_cost = 0.0;
+      double loss = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          kept_cost += queries[i].remaining;
+          if (kept_cost > budget) break;
+        } else {
+          loss += LossOf(queries[i], metric);
+        }
+      }
+      if (kept_cost <= budget && loss < best_loss) {
+        best_loss = loss;
+        best_mask = mask;
+      }
+    }
+    MaintenancePlan plan;
+    WorkUnits kept_remaining = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (best_mask & (1u << i)) {
+        kept_remaining += queries[i].remaining;
+      } else {
+        plan.abort_now.push_back(queries[i].id);
+        plan.lost_work += LossOf(queries[i], metric);
+      }
+    }
+    plan.quiescent_time = kept_remaining / rate;
+    return plan;
+  }
+
+  // Larger instances: pseudo-polynomial knapsack on a quantized grid.
+  // Quantize remaining costs onto an integer grid; round costs *up* so
+  // a "kept" set in the DP is guaranteed feasible in real units.
+  WorkUnits max_remaining = 0.0;
+  for (const MaintenanceQuery& q : queries) {
+    max_remaining = std::max(max_remaining, q.remaining);
+  }
+  const double unit = max_remaining > 0.0
+                          ? max_remaining / static_cast<double>(buckets)
+                          : 1.0;
+  const auto cap = static_cast<std::size_t>(budget / unit);
+
+  std::vector<std::size_t> qcost(n);
+  std::vector<double> value(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    qcost[i] = static_cast<std::size_t>(std::ceil(queries[i].remaining / unit));
+    value[i] = LossOf(queries[i], metric);
+  }
+
+  // Full 2D table: dp[i][w] = max kept loss among the first i queries
+  // within quantized capacity w. n and `buckets` are both small, so the
+  // table stays in the hundreds of kilobytes.
+  std::vector<std::vector<double>> dp(
+      n + 1, std::vector<double>(cap + 1, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t w = 0; w <= cap; ++w) {
+      dp[i + 1][w] = dp[i][w];
+      if (qcost[i] <= w) {
+        dp[i + 1][w] =
+            std::max(dp[i + 1][w], dp[i][w - qcost[i]] + value[i]);
+      }
+    }
+  }
+
+  // Reconstruct the kept set from the full-capacity cell.
+  std::vector<bool> kept(n, false);
+  std::size_t w = cap;
+  for (std::size_t i = n; i-- > 0;) {
+    if (dp[i + 1][w] != dp[i][w]) {
+      kept[i] = true;
+      w -= qcost[i];
+    }
+  }
+
+  MaintenancePlan plan;
+  WorkUnits kept_remaining = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (kept[i]) {
+      kept_remaining += queries[i].remaining;
+    } else {
+      plan.abort_now.push_back(queries[i].id);
+      plan.lost_work += value[i];
+    }
+  }
+  plan.quiescent_time = kept_remaining / rate;
+  return plan;
+}
+
+}  // namespace mqpi::wlm

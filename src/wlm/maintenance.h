@@ -1,0 +1,69 @@
+// Section 3.3: the scheduled maintenance problem.
+//
+// Maintenance starts at (relative) time t. Aborting query Q_i at time 0
+// shortens the system quiescent time by V_i = c_i / C and loses
+//   Case 1 (kCompletedWork): e_i       — work already done, or
+//   Case 2 (kTotalCost):     e_i + c_i — the aborted query's total cost
+//                                        (it must rerun later).
+// Choosing which queries to abort so the rest quiesce by t with minimal
+// loss is a knapsack problem. The paper's method is greedy: re-sort
+// ascending loss_i / V_i and abort in that order until the quiescent
+// time fits. We implement that greedy, plus an exact dynamic-program
+// knapsack used as the "theoretical limitation" curve of Figure 11.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+
+namespace mqpi::wlm {
+
+struct MaintenanceQuery {
+  QueryId id = kInvalidQueryId;
+  /// e_i: work completed so far.
+  WorkUnits completed = 0.0;
+  /// c_i: remaining cost (an estimate for live planning; exact for the
+  /// theoretical-limit oracle).
+  WorkUnits remaining = 0.0;
+};
+
+enum class LossMetric {
+  kCompletedWork,  // Case 1: lose what aborted queries had done
+  kTotalCost,      // Case 2: unfinished work (aborted queries rerun)
+};
+
+struct MaintenancePlan {
+  /// Queries to abort at time 0, in abort order.
+  std::vector<QueryId> abort_now;
+  /// Total loss of the aborted set under the chosen metric.
+  double lost_work = 0.0;
+  /// Predicted quiescent time of the surviving queries.
+  SimTime quiescent_time = 0.0;
+};
+
+class MaintenancePlanner {
+ public:
+  /// The paper's greedy: abort in ascending loss/V order until the
+  /// survivors' quiescent time (sum of remaining costs / C) fits within
+  /// `deadline`. Never aborts more than necessary.
+  static Result<MaintenancePlan> PlanGreedy(
+      const std::vector<MaintenanceQuery>& queries, SimTime deadline,
+      double rate, LossMetric metric);
+
+  /// Exact 0/1 knapsack (dynamic program on a quantized cost grid):
+  /// keeps the max-loss-value subset whose total remaining cost fits in
+  /// C * deadline; everything else is aborted. `buckets` controls the
+  /// quantization resolution.
+  static Result<MaintenancePlan> PlanOptimal(
+      const std::vector<MaintenanceQuery>& queries, SimTime deadline,
+      double rate, LossMetric metric, int buckets = 4096);
+
+  /// Loss of one query under a metric.
+  static double LossOf(const MaintenanceQuery& q, LossMetric metric) {
+    return metric == LossMetric::kCompletedWork ? q.completed
+                                                : q.completed + q.remaining;
+  }
+};
+
+}  // namespace mqpi::wlm

@@ -1,0 +1,78 @@
+// WlmAdvisor: applies the Section 3 algorithms to a live Rdbms using
+// only progress-indicator observables, implementing the paper's three
+// experimental methods for the scheduled-maintenance problem:
+//
+//   kNoPi     - operations O1 + O2: stop admissions, let queries run,
+//               abort whatever is unfinished at the deadline.
+//   kSinglePi - O1 + O2' + O3 with a single-query PI: abort every query
+//               whose t = c/s estimate says it cannot finish by the
+//               deadline (the PI has no model of the speed-up aborts
+//               cause, which is why it over-aborts).
+//   kMultiPi  - O1 + O2' + O3 with the multi-query PI: the Section 3.3
+//               greedy knapsack on (e_i, c_i) observables.
+//
+// Speed-up operations (Sections 3.1 / 3.2) block their victims via
+// Rdbms::Block.
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "pi/pi_manager.h"
+#include "sched/rdbms.h"
+#include "wlm/maintenance.h"
+#include "wlm/speedup.h"
+
+namespace mqpi::wlm {
+
+enum class MaintenanceMethod { kNoPi, kSinglePi, kMultiPi };
+
+class WlmAdvisor {
+ public:
+  /// `db` must outlive the advisor.
+  explicit WlmAdvisor(sched::Rdbms* db) : db_(db) {}
+
+  /// Section 3.1: chooses h victims for `target` from current
+  /// observables and blocks them. Uses the equal-priority O(n) fast
+  /// path when every running query has the same weight and h == 1.
+  Result<SpeedupChoice> SpeedUpQuery(QueryId target, int h = 1);
+
+  /// Section 3.2: chooses and blocks the victim whose blocking most
+  /// improves everyone else's total response time.
+  Result<MultiSpeedupChoice> SpeedUpOthers();
+
+  /// Section 3.1's first resort: raises `target` to `priority` and
+  /// returns the predicted effect on its remaining time. Fails if the
+  /// target is not running.
+  Result<PriorityRaiseAdvice> SpeedUpByPriority(QueryId target,
+                                                Priority priority);
+
+  /// Section 3.3 decision at the current instant for maintenance
+  /// `deadline` seconds ahead: closes admission (O1) and aborts the
+  /// method's chosen victims (O2'). For kSinglePi, `pis` supplies the
+  /// per-query single-PI estimates; it may be nullptr for other
+  /// methods. Returns the plan that was applied.
+  Result<MaintenancePlan> PrepareMaintenance(SimTime deadline,
+                                             LossMetric metric,
+                                             MaintenanceMethod method,
+                                             const pi::PiManager* pis);
+
+  /// Adaptive revision (Section 4): re-runs the kMultiPi decision with
+  /// the remaining time and current (refreshed) estimates, aborting any
+  /// queries that have become hopeless. Call periodically between the
+  /// decision instant and the deadline.
+  Result<MaintenancePlan> ReviseMaintenance(SimTime remaining_deadline,
+                                            LossMetric metric);
+
+  /// The deadline action of O2/O3: aborts every query that has not
+  /// finished (running, blocked, or queued). Returns their infos as of
+  /// the abort instant.
+  std::vector<sched::QueryInfo> AbortAllUnfinished();
+
+ private:
+  std::vector<pi::QueryLoad> RunningLoads() const;
+
+  sched::Rdbms* db_;
+};
+
+}  // namespace mqpi::wlm

@@ -1,0 +1,76 @@
+#include "workload/arrival_schedule.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace mqpi::workload {
+
+std::vector<ScheduledArrival> GeneratePoissonArrivals(
+    const ZipfWorkload& workload, double lambda, SimTime horizon, Rng* rng) {
+  std::vector<ScheduledArrival> schedule;
+  if (lambda <= 0.0) return schedule;
+  PoissonProcess process(lambda);
+  while (true) {
+    const SimTime t = process.NextArrival(rng);
+    if (t >= horizon) break;
+    schedule.push_back(ScheduledArrival{t, workload.SampleRank(rng)});
+  }
+  return schedule;
+}
+
+std::string SerializeSchedule(
+    const std::vector<ScheduledArrival>& schedule) {
+  std::ostringstream os;
+  os << "time,rank\n";
+  for (const auto& arrival : schedule) {
+    os << arrival.time << "," << arrival.rank << "\n";
+  }
+  return os.str();
+}
+
+Result<std::vector<ScheduledArrival>> ParseSchedule(std::string_view csv) {
+  std::vector<ScheduledArrival> schedule;
+  std::istringstream is{std::string(csv)};
+  std::string line;
+  bool header = true;
+  double prev = -1.0;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (header) {
+      header = false;
+      if (line != "time,rank") {
+        return Status::InvalidArgument(
+            "schedule CSV must start with 'time,rank'");
+      }
+      continue;
+    }
+    const auto comma = line.find(',');
+    if (comma == std::string::npos) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": missing ','");
+    }
+    char* end = nullptr;
+    const double time = std::strtod(line.c_str(), &end);
+    if (end != line.c_str() + comma) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad time");
+    }
+    const long rank = std::strtol(line.c_str() + comma + 1, &end, 10);
+    if (*end != '\0' || rank < 1) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": bad rank");
+    }
+    if (time <= prev) {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": times must be increasing");
+    }
+    prev = time;
+    schedule.push_back(
+        ScheduledArrival{time, static_cast<int>(rank)});
+  }
+  return schedule;
+}
+
+}  // namespace mqpi::workload

@@ -1,0 +1,36 @@
+// ArrivalSchedule: pre-generated Poisson arrival times paired with
+// sampled query ranks, so a run and its analysis see the identical
+// arrival trace (Section 5.2.3's "new queries kept arriving at the
+// RDBMS according to a Poisson process with parameter lambda").
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "workload/zipf_workload.h"
+
+namespace mqpi::workload {
+
+struct ScheduledArrival {
+  SimTime time = 0.0;
+  int rank = 1;
+};
+
+/// Generates arrivals on [0, horizon) at rate `lambda` with ranks drawn
+/// from `workload`'s Zipf mix. Returns an empty schedule for lambda<=0.
+std::vector<ScheduledArrival> GeneratePoissonArrivals(
+    const ZipfWorkload& workload, double lambda, SimTime horizon, Rng* rng);
+
+/// Serializes a schedule to a CSV string ("time,rank" per line) so an
+/// arrival trace can be stored and replayed across processes.
+std::string SerializeSchedule(const std::vector<ScheduledArrival>& schedule);
+
+/// Parses the CSV produced by SerializeSchedule. Fails on malformed
+/// lines, non-increasing times, or ranks < 1.
+Result<std::vector<ScheduledArrival>> ParseSchedule(std::string_view csv);
+
+}  // namespace mqpi::workload

@@ -1,0 +1,63 @@
+#include "workload/zipf_workload.h"
+
+namespace mqpi::workload {
+
+ZipfWorkload::ZipfWorkload(storage::Catalog* catalog,
+                           storage::TpcrGenerator* generator,
+                           ZipfWorkloadOptions options)
+    : catalog_(catalog),
+      generator_(generator),
+      options_(options),
+      sampler_(options.max_rank, options.a),
+      cost_cache_(static_cast<std::size_t>(options.max_rank) + 1, kUnknown) {}
+
+Status ZipfWorkload::MaterializeTables() {
+  if (!catalog_->GetTable("lineitem").ok()) {
+    MQPI_RETURN_NOT_OK(generator_->BuildLineitem(catalog_));
+  }
+  for (int rank = 1; rank <= options_.max_rank; ++rank) {
+    const std::string name = storage::TpcrGenerator::PartTableName(rank);
+    if (catalog_->GetTable(name).ok()) continue;
+    MQPI_RETURN_NOT_OK(generator_->BuildPartTable(
+        catalog_, name,
+        static_cast<std::int64_t>(options_.n_scale) * rank));
+  }
+  return Status::OK();
+}
+
+int ZipfWorkload::SampleRank(Rng* rng) const { return sampler_.Sample(rng); }
+
+engine::QuerySpec ZipfWorkload::SpecForRank(int rank) const {
+  return engine::QuerySpec::TpcrPartPrice(
+      storage::TpcrGenerator::PartTableName(rank));
+}
+
+engine::QuerySpec ZipfWorkload::SampleSpec(Rng* rng) const {
+  return SpecForRank(SampleRank(rng));
+}
+
+Result<WorkUnits> ZipfWorkload::TrueCostOfRank(engine::Planner* planner,
+                                               int rank) {
+  if (rank < 1 || rank > options_.max_rank) {
+    return Status::InvalidArgument("rank " + std::to_string(rank) +
+                                   " out of range");
+  }
+  double& cached = cost_cache_[static_cast<std::size_t>(rank)];
+  if (cached != kUnknown) return cached;
+  auto cost = planner->MeasureTrueCost(SpecForRank(rank));
+  if (!cost.ok()) return cost.status();
+  cached = *cost;
+  return cached;
+}
+
+Result<WorkUnits> ZipfWorkload::AverageTrueCost(engine::Planner* planner) {
+  double avg = 0.0;
+  for (int rank = 1; rank <= options_.max_rank; ++rank) {
+    auto cost = TrueCostOfRank(planner, rank);
+    if (!cost.ok()) return cost.status();
+    avg += sampler_.Probability(rank) * *cost;
+  }
+  return avg;
+}
+
+}  // namespace mqpi::workload

@@ -1,0 +1,76 @@
+// ZipfWorkload: the paper's query mix.
+//
+// Query Q_i runs the correlated-subquery template over part_i, whose
+// size is proportional to N_i; the N_i's "follow a Zipfian distribution
+// with parameter a" (Sections 5.2 / 5.3). We realize this as ranks
+// 1..max_rank with P(rank = k) proportional to 1/k^a and
+// N_rank = n_scale * rank, materializing one part table per rank so
+// every sampled query executes against real data.
+//
+// Per-rank true costs are deterministic (same table, same plan), so the
+// workload measures them once by dry run and derives the exact average
+// cost c-bar — the quantity the Section 2.4 future model needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "engine/planner.h"
+#include "storage/catalog.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi::workload {
+
+struct ZipfWorkloadOptions {
+  /// Ranks 1..max_rank; rank k is drawn with probability ~ 1/k^a.
+  int max_rank = 100;
+  /// Zipf parameter a (paper uses 1.2 and 2.2).
+  double a = 2.2;
+  /// N_rank = n_scale * rank; part_rank has 10 * N_rank tuples.
+  int n_scale = 1;
+};
+
+class ZipfWorkload {
+ public:
+  /// `catalog` and `generator` must outlive the workload. Data is not
+  /// built until MaterializeTables().
+  ZipfWorkload(storage::Catalog* catalog, storage::TpcrGenerator* generator,
+               ZipfWorkloadOptions options);
+
+  /// Builds lineitem (if absent) and all part_<rank> tables.
+  Status MaterializeTables();
+
+  const ZipfWorkloadOptions& options() const { return options_; }
+
+  /// Draws a rank from the Zipf distribution.
+  int SampleRank(Rng* rng) const;
+
+  /// The query spec for one rank.
+  engine::QuerySpec SpecForRank(int rank) const;
+
+  /// Convenience: SpecForRank(SampleRank(rng)).
+  engine::QuerySpec SampleSpec(Rng* rng) const;
+
+  /// Exact execution cost of the rank's query (dry run, cached).
+  Result<WorkUnits> TrueCostOfRank(engine::Planner* planner, int rank);
+
+  /// Exact average query cost c-bar = sum_k P(k) * cost(k).
+  Result<WorkUnits> AverageTrueCost(engine::Planner* planner);
+
+  /// P(rank = k), exposed for analytic checks.
+  double RankProbability(int rank) const {
+    return sampler_.Probability(rank);
+  }
+
+ private:
+  storage::Catalog* catalog_;
+  storage::TpcrGenerator* generator_;
+  ZipfWorkloadOptions options_;
+  ZipfSampler sampler_;
+  std::vector<double> cost_cache_;  // kUnknown until measured
+};
+
+}  // namespace mqpi::workload

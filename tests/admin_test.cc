@@ -1,0 +1,145 @@
+// Tests for administrative features: statement timeouts and catalog
+// drop operations.
+
+#include <gtest/gtest.h>
+
+#include "sched/rdbms.h"
+#include "sim/trace.h"
+#include "storage/catalog.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi {
+namespace {
+
+using engine::QuerySpec;
+
+// ---- statement timeout -----------------------------------------------------------
+
+TEST(StatementTimeoutTest, RunawayQueryIsAborted) {
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.1;
+  options.max_query_seconds = 2.0;
+  sched::Rdbms db(&catalog, options);
+  sim::EventTrace trace(&db);
+  auto quick = db.Submit(QuerySpec::Synthetic(50.0));
+  auto runaway = db.Submit(QuerySpec::Synthetic(100000.0));
+  ASSERT_TRUE(runaway.ok());
+  db.RunUntilIdle(20.0);
+  EXPECT_EQ(db.info(*quick)->state, sched::QueryState::kFinished);
+  const auto info = *db.info(*runaway);
+  EXPECT_EQ(info.state, sched::QueryState::kAborted);
+  EXPECT_NEAR(info.finish_time, 2.0, 0.25);
+  EXPECT_EQ(trace.Filter(sched::QueryEventKind::kAborted).size(), 1u);
+}
+
+TEST(StatementTimeoutTest, TimeoutCountsRunningTimeNotQueueTime) {
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.1;
+  options.max_concurrent = 1;
+  options.max_query_seconds = 3.0;
+  sched::Rdbms db(&catalog, options);
+  auto first = db.Submit(QuerySpec::Synthetic(200.0));   // 2 s
+  auto second = db.Submit(QuerySpec::Synthetic(250.0));  // queued 2 s
+  ASSERT_TRUE(second.ok());
+  db.RunUntilIdle();
+  // The second query waited 2 s in the queue then ran 2.5 s — under the
+  // 3 s running-time limit, so it must finish, not abort.
+  EXPECT_EQ(db.info(*first)->state, sched::QueryState::kFinished);
+  EXPECT_EQ(db.info(*second)->state, sched::QueryState::kFinished);
+}
+
+TEST(StatementTimeoutTest, ZeroDisables) {
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.max_query_seconds = 0.0;
+  sched::Rdbms db(&catalog, options);
+  auto id = db.Submit(QuerySpec::Synthetic(5000.0));
+  ASSERT_TRUE(id.ok());
+  db.RunUntilIdle();
+  EXPECT_EQ(db.info(*id)->state, sched::QueryState::kFinished);
+}
+
+TEST(StatementTimeoutTest, BlockedTimeStillCounts) {
+  // A query blocked by WLM keeps aging toward its timeout only while
+  // running; blocking pauses progress but the clock keeps going — the
+  // guard measures wall time since start, like real statement timeouts.
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.1;
+  options.max_query_seconds = 2.0;
+  sched::Rdbms db(&catalog, options);
+  auto id = db.Submit(QuerySpec::Synthetic(100.0));
+  ASSERT_TRUE(db.Block(*id).ok());
+  db.Step(3.0);
+  // Blocked queries are not aborted by the guard (they make no
+  // progress by DBA decision)...
+  EXPECT_EQ(db.info(*id)->state, sched::QueryState::kBlocked);
+  // ...but once resumed, wall time since start applies immediately.
+  ASSERT_TRUE(db.Resume(*id).ok());
+  db.Step(0.2);
+  EXPECT_EQ(db.info(*id)->state, sched::QueryState::kAborted);
+}
+
+// ---- catalog drops ------------------------------------------------------------
+
+TEST(CatalogDropTest, DropTableCascades) {
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 100, .matches_per_key = 4, .seed = 12});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  ASSERT_TRUE(catalog.GetTable("lineitem").ok());
+  ASSERT_TRUE(catalog.GetIndex("lineitem_partkey_idx").ok());
+  ASSERT_TRUE(catalog.GetHistogram("lineitem", "quantity").ok());
+
+  ASSERT_TRUE(catalog.DropTable("lineitem").ok());
+  EXPECT_TRUE(catalog.GetTable("lineitem").status().IsNotFound());
+  EXPECT_TRUE(
+      catalog.GetIndex("lineitem_partkey_idx").status().IsNotFound());
+  EXPECT_TRUE(
+      catalog.GetHistogram("lineitem", "quantity").status().IsNotFound());
+  EXPECT_TRUE(catalog.GetStats("lineitem").status().IsNotFound());
+  // Re-creating after a drop works.
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  EXPECT_TRUE(catalog.GetTable("lineitem").ok());
+}
+
+TEST(CatalogDropTest, DropIndexOnly) {
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 100, .matches_per_key = 4, .seed = 13});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  ASSERT_TRUE(catalog.DropIndex("lineitem_partkey_idx").ok());
+  EXPECT_TRUE(
+      catalog.GetIndex("lineitem_partkey_idx").status().IsNotFound());
+  EXPECT_TRUE(catalog.GetTable("lineitem").ok());  // table survives
+  EXPECT_TRUE(catalog.DropIndex("lineitem_partkey_idx").IsNotFound());
+}
+
+TEST(CatalogDropTest, DropUnknownTableFails) {
+  storage::Catalog catalog;
+  EXPECT_TRUE(catalog.DropTable("nope").IsNotFound());
+}
+
+TEST(CatalogDropTest, DropDoesNotTouchOtherTables) {
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 100, .matches_per_key = 4, .seed = 14});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  ASSERT_TRUE(generator.BuildPartTable(&catalog, "part_1", 3).ok());
+  ASSERT_TRUE(generator.BuildPartTable(&catalog, "part_10", 3).ok());
+  // Dropping part_1 must not clobber part_10's histograms despite the
+  // shared name prefix.
+  ASSERT_TRUE(catalog.DropTable("part_1").ok());
+  EXPECT_TRUE(catalog.GetTable("part_10").ok());
+  EXPECT_TRUE(catalog.GetHistogram("part_10", "retailprice").ok());
+  EXPECT_TRUE(catalog.GetTable("lineitem").ok());
+}
+
+}  // namespace
+}  // namespace mqpi

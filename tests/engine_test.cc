@@ -1,0 +1,436 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "engine/expr.h"
+#include "engine/operators.h"
+#include "engine/planner.h"
+#include "engine/query_execution.h"
+#include "storage/catalog.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi::engine {
+namespace {
+
+using storage::AsDouble;
+using storage::AsInt;
+using storage::Catalog;
+using storage::ColumnType;
+using storage::Schema;
+using storage::Tuple;
+using storage::Value;
+
+Schema KvSchema() {
+  return Schema({{"key", ColumnType::kInt64}, {"value", ColumnType::kDouble}});
+}
+
+// ---- Expr ---------------------------------------------------------------------
+
+TEST(ExprTest, ConstAndColumn) {
+  Tuple row({Value{std::int64_t{3}}, Value{2.5}});
+  EXPECT_DOUBLE_EQ(Const(4.0)->Eval(row), 4.0);
+  Schema schema = KvSchema();
+  auto key = Col(schema, "key");
+  auto value = Col(schema, "value");
+  ASSERT_TRUE(key.ok());
+  ASSERT_TRUE(value.ok());
+  EXPECT_DOUBLE_EQ((*key)->Eval(row), 3.0);
+  EXPECT_DOUBLE_EQ((*value)->Eval(row), 2.5);
+  EXPECT_TRUE(Col(schema, "missing").status().IsNotFound());
+}
+
+TEST(ExprTest, Arithmetic) {
+  Tuple row;
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kAdd, Const(2), Const(3))->Eval(row), 5.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kSub, Const(2), Const(3))->Eval(row), -1.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kMul, Const(2), Const(3))->Eval(row), 6.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kDiv, Const(3), Const(2))->Eval(row), 1.5);
+  EXPECT_TRUE(std::isnan(Bin(BinaryOp::kDiv, Const(3), Const(0))->Eval(row)));
+}
+
+TEST(ExprTest, Comparisons) {
+  Tuple row;
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kGt, Const(2), Const(1))->Eval(row), 1.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kGt, Const(1), Const(2))->Eval(row), 0.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kGe, Const(2), Const(2))->Eval(row), 1.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kLt, Const(1), Const(2))->Eval(row), 1.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kLe, Const(3), Const(2))->Eval(row), 0.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kEq, Const(2), Const(2))->Eval(row), 1.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kNe, Const(2), Const(2))->Eval(row), 0.0);
+}
+
+TEST(ExprTest, LogicalShortCircuit) {
+  Tuple row;
+  EXPECT_DOUBLE_EQ(
+      Bin(BinaryOp::kAnd, Const(1), Const(1))->Eval(row), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Bin(BinaryOp::kAnd, Const(0), Const(1))->Eval(row), 0.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kOr, Const(0), Const(1))->Eval(row), 1.0);
+  EXPECT_DOUBLE_EQ(Bin(BinaryOp::kOr, Const(0), Const(0))->Eval(row), 0.0);
+}
+
+TEST(ExprTest, NanComparesFalse) {
+  // The correlated sub-query yields NaN for "no matches"; any
+  // comparison against it must be false (SQL NULL semantics here).
+  Tuple row;
+  auto nan = Bin(BinaryOp::kDiv, Const(1), Const(0));
+  EXPECT_DOUBLE_EQ(
+      Bin(BinaryOp::kGt, Const(5), std::move(nan))->Eval(row), 0.0);
+}
+
+TEST(ExprTest, ToStringRendering) {
+  Schema schema = KvSchema();
+  auto e = Bin(BinaryOp::kGt,
+               Bin(BinaryOp::kMul, *Col(schema, "value"), Const(0.75)),
+               Const(10));
+  EXPECT_EQ(e->ToString(), "((value * 0.75) > 10)");
+}
+
+// ---- operator fixtures ------------------------------------------------------------
+
+class OperatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto table = catalog_.CreateTable("t", KvSchema());
+    ASSERT_TRUE(table.ok());
+    table_ = *table;
+    // 500 rows, keys 0..49 repeating, value = key * 10.
+    for (int i = 0; i < 500; ++i) {
+      const std::int64_t key = i % 50;
+      ASSERT_TRUE(table_
+                      ->Append(Tuple({Value{key},
+                                      Value{static_cast<double>(key) * 10}}))
+                      .ok());
+    }
+    auto index = catalog_.CreateIndex("t_key_idx", "t", "key");
+    ASSERT_TRUE(index.ok());
+    index_ = *index;
+    ASSERT_TRUE(catalog_.Analyze("t").ok());
+  }
+
+  /// Pulls everything from an operator with an unlimited budget.
+  std::vector<Tuple> Drain(Operator* op, storage::BufferAccount* account) {
+    ExecContext ctx;
+    ctx.account = account;
+    std::vector<Tuple> out;
+    Tuple row;
+    while (true) {
+      auto step = op->Next(&ctx, &row);
+      EXPECT_TRUE(step.ok()) << step.status().ToString();
+      if (!step.ok() || *step == OpResult::kDone) break;
+      if (*step == OpResult::kRow) out.push_back(row);
+    }
+    return out;
+  }
+
+  Catalog catalog_;
+  storage::Table* table_ = nullptr;
+  storage::Index* index_ = nullptr;
+  storage::BufferManager buffers_;
+};
+
+TEST_F(OperatorTest, SeqScanEmitsAllRowsAndChargesPages) {
+  storage::BufferAccount account(&buffers_);
+  SeqScanOperator scan(table_);
+  auto rows = Drain(&scan, &account);
+  EXPECT_EQ(rows.size(), 500u);
+  EXPECT_DOUBLE_EQ(account.charged(),
+                   static_cast<double>(table_->num_pages()));
+}
+
+TEST_F(OperatorTest, IndexScanFindsMatches) {
+  storage::BufferAccount account(&buffers_);
+  IndexScanOperator scan(index_, table_, 7);
+  auto rows = Drain(&scan, &account);
+  EXPECT_EQ(rows.size(), 10u);  // 500 / 50 repeats
+  for (const auto& row : rows) EXPECT_EQ(AsInt(row.at(0)), 7);
+  // At least the index descent was charged.
+  EXPECT_GE(account.charged(), static_cast<double>(index_->height()));
+}
+
+TEST_F(OperatorTest, IndexScanMissingKey) {
+  storage::BufferAccount account(&buffers_);
+  IndexScanOperator scan(index_, table_, 777);
+  EXPECT_TRUE(Drain(&scan, &account).empty());
+}
+
+TEST_F(OperatorTest, FilterKeepsMatchingRows) {
+  storage::BufferAccount account(&buffers_);
+  auto pred = Bin(BinaryOp::kGe, *Col(table_->schema(), "key"), Const(45));
+  FilterOperator filter(std::make_unique<SeqScanOperator>(table_),
+                        std::move(pred));
+  auto rows = Drain(&filter, &account);
+  EXPECT_EQ(rows.size(), 50u);  // keys 45..49, 10 each
+}
+
+TEST_F(OperatorTest, ScalarAggregates) {
+  struct Case {
+    AggFunc func;
+    double expected;
+  };
+  for (const Case& c : std::vector<Case>{{AggFunc::kCount, 500.0},
+                                         {AggFunc::kSum, 122500.0},
+                                         {AggFunc::kAvg, 245.0},
+                                         {AggFunc::kMin, 0.0},
+                                         {AggFunc::kMax, 490.0}}) {
+    storage::BufferAccount account(&buffers_);
+    ScalarAggregateOperator agg(std::make_unique<SeqScanOperator>(table_),
+                                c.func, *Col(table_->schema(), "value"));
+    auto rows = Drain(&agg, &account);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_DOUBLE_EQ(AsDouble(rows[0].at(0)), c.expected)
+        << "agg " << static_cast<int>(c.func);
+  }
+}
+
+TEST_F(OperatorTest, AggregateOverEmptyInput) {
+  storage::BufferAccount account(&buffers_);
+  auto pred = Bin(BinaryOp::kGt, *Col(table_->schema(), "key"), Const(1000));
+  ScalarAggregateOperator agg(
+      std::make_unique<FilterOperator>(
+          std::make_unique<SeqScanOperator>(table_), std::move(pred)),
+      AggFunc::kAvg, *Col(table_->schema(), "value"));
+  auto rows = Drain(&agg, &account);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_TRUE(std::isnan(AsDouble(rows[0].at(0))));
+}
+
+TEST_F(OperatorTest, AggregateYieldsOnBudget) {
+  storage::BufferAccount account(&buffers_);
+  ScalarAggregateOperator agg(std::make_unique<SeqScanOperator>(table_),
+                              AggFunc::kCount, Const(1.0));
+  ExecContext ctx;
+  ctx.account = &account;
+  ctx.yield_at = 1.0;  // yield after ~1 page
+  Tuple row;
+  auto step = agg.Next(&ctx, &row);
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(*step, OpResult::kYield);
+  EXPECT_GT(agg.rows_consumed(), 0u);
+  EXPECT_LT(agg.rows_consumed(), 500u);
+  // Resume with unlimited budget: finishes with the same total.
+  ctx.yield_at = std::numeric_limits<double>::infinity();
+  step = agg.Next(&ctx, &row);
+  ASSERT_TRUE(step.ok());
+  EXPECT_EQ(*step, OpResult::kRow);
+  EXPECT_DOUBLE_EQ(AsDouble(row.at(0)), 500.0);
+}
+
+// ---- correlated sub-query vs brute force ------------------------------------------
+
+class TpcrQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TpcrGeneratorSetup();
+  }
+
+  void TpcrGeneratorSetup() {
+    storage::TpcrGenerator generator(
+        {.num_part_keys = 300, .matches_per_key = 8, .seed = 77});
+    ASSERT_TRUE(generator.BuildLineitem(&catalog_).ok());
+    ASSERT_TRUE(generator.BuildPartTable(&catalog_, "part_1", 12).ok());
+  }
+
+  /// Brute-force evaluation of the paper's predicate for one part row.
+  bool QualifiesBruteForce(const Tuple& part_row) {
+    const auto* lineitem = *catalog_.GetTable("lineitem");
+    const std::int64_t key = AsInt(part_row.at(0));
+    double num = 0.0, den = 0.0;
+    bool any = false;
+    for (storage::RowId r = 0; r < lineitem->num_tuples(); ++r) {
+      const Tuple& row = lineitem->Get(r);
+      if (AsInt(row.at(1)) == key) {
+        num += AsDouble(row.at(4));  // extendedprice
+        den += AsDouble(row.at(3));  // quantity
+        any = true;
+      }
+    }
+    if (!any || den == 0.0) return false;
+    return AsDouble(part_row.at(1)) * 0.75 > num / den;
+  }
+
+  Catalog catalog_;
+  storage::BufferManager buffers_;
+};
+
+TEST_F(TpcrQueryTest, MatchesBruteForce) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.0});
+  auto prepared = planner.Prepare(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto* exec = prepared->execution.get();
+  while (!exec->done()) {
+    exec->Advance(std::numeric_limits<double>::infinity());
+  }
+  ASSERT_TRUE(exec->status().ok());
+
+  const auto* part = *catalog_.GetTable("part_1");
+  std::uint64_t expected = 0;
+  for (storage::RowId r = 0; r < part->num_tuples(); ++r) {
+    if (QualifiesBruteForce(part->Get(r))) ++expected;
+  }
+  EXPECT_EQ(exec->rows_produced(), expected);
+  EXPECT_GT(expected, 0u);                      // predicate selects some
+  EXPECT_LT(expected, part->num_tuples());      // ...but not all
+}
+
+TEST_F(TpcrQueryTest, ExecutionCostIsDeterministic) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.0});
+  auto c1 = planner.MeasureTrueCost(QuerySpec::TpcrPartPrice("part_1"));
+  auto c2 = planner.MeasureTrueCost(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_DOUBLE_EQ(*c1, *c2);
+  EXPECT_GT(*c1, 0.0);
+}
+
+TEST_F(TpcrQueryTest, AnalyticCostTracksTrueCost) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.0});
+  auto prepared = planner.Prepare(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(prepared.ok());
+  auto true_cost = planner.MeasureTrueCost(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(true_cost.ok());
+  // With perfect statistics the analytic estimate should land within
+  // 25% of the measured cost (coupon-collector page estimate vs actual
+  // scatter).
+  EXPECT_NEAR(prepared->analytic_cost, *true_cost, 0.25 * *true_cost);
+  // And with zero noise the optimizer cost equals the analytic cost.
+  EXPECT_DOUBLE_EQ(prepared->analytic_cost, prepared->optimizer_cost);
+}
+
+TEST_F(TpcrQueryTest, NoiseMovesOptimizerCost) {
+  Planner noisy(&catalog_, &buffers_, {.noise_sigma = 0.5, .noise_seed = 3});
+  double sum_abs_rel = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    auto prepared = noisy.Prepare(QuerySpec::TpcrPartPrice("part_1"));
+    ASSERT_TRUE(prepared.ok());
+    sum_abs_rel += std::fabs(prepared->optimizer_cost -
+                             prepared->analytic_cost) /
+                   prepared->analytic_cost;
+  }
+  EXPECT_GT(sum_abs_rel / 20.0, 0.1);  // noise is actually applied
+}
+
+TEST_F(TpcrQueryTest, BudgetedExecutionMatchesUnbudgeted) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.0});
+  auto a = planner.Prepare(QuerySpec::TpcrPartPrice("part_1"));
+  auto b = planner.Prepare(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  while (!a->execution->done()) {
+    a->execution->Advance(std::numeric_limits<double>::infinity());
+  }
+  while (!b->execution->done()) b->execution->Advance(7.0);  // tiny quanta
+  EXPECT_EQ(a->execution->rows_produced(), b->execution->rows_produced());
+  EXPECT_DOUBLE_EQ(a->execution->completed_work(),
+                   b->execution->completed_work());
+}
+
+TEST_F(TpcrQueryTest, RemainingCostEstimateConvergesToTruth) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.4, .noise_seed = 5});
+  auto prepared = planner.Prepare(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(prepared.ok());
+  auto true_cost = planner.MeasureTrueCost(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(true_cost.ok());
+  auto* exec = prepared->execution.get();
+  // Run ~60% of the query, then the refined remaining estimate should
+  // be much closer to truth than the raw optimizer estimate was.
+  while (!exec->done() && exec->completed_work() < 0.6 * *true_cost) {
+    exec->Advance(50.0);
+  }
+  const double actual_remaining = *true_cost - exec->completed_work();
+  const double refined_err =
+      std::fabs(exec->EstimateRemainingCost() - actual_remaining);
+  EXPECT_LT(refined_err, 0.25 * actual_remaining + 1.0);
+}
+
+// ---- ScanAggregate / Synthetic specs ------------------------------------------------
+
+TEST_F(TpcrQueryTest, ScanAggregateSpec) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.0});
+  auto spec = QuerySpec::ScanAggregate("lineitem", AggFunc::kCount, "");
+  auto prepared = planner.Prepare(spec);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  auto* exec = prepared->execution.get();
+  while (!exec->done()) exec->Advance(10.0);
+  EXPECT_EQ(exec->rows_produced(), 1u);
+  const auto* lineitem = *catalog_.GetTable("lineitem");
+  EXPECT_DOUBLE_EQ(exec->completed_work(),
+                   static_cast<double>(lineitem->num_pages()));
+}
+
+TEST_F(TpcrQueryTest, ScanAggregateWithFilter) {
+  Planner planner(&catalog_, &buffers_, {.noise_sigma = 0.0});
+  auto spec = QuerySpec::ScanAggregate("lineitem", AggFunc::kSum, "quantity")
+                  .WithFilter("quantity", 25.0);
+  auto prepared = planner.Prepare(spec);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  while (!prepared->execution->done()) prepared->execution->Advance(10.0);
+  EXPECT_TRUE(prepared->execution->status().ok());
+}
+
+TEST(SyntheticQueryTest, ConsumesExactCost) {
+  SyntheticQueryExecution exec(100.0, 120.0);
+  EXPECT_FALSE(exec.done());
+  EXPECT_DOUBLE_EQ(exec.Advance(30.0), 30.0);
+  EXPECT_DOUBLE_EQ(exec.completed_work(), 30.0);
+  EXPECT_DOUBLE_EQ(exec.Advance(1000.0), 70.0);  // clipped at true cost
+  EXPECT_TRUE(exec.done());
+  EXPECT_DOUBLE_EQ(exec.EstimateRemainingCost(), 0.0);
+}
+
+TEST(SyntheticQueryTest, EstimateConvergesLinearly) {
+  SyntheticQueryExecution exec(100.0, 200.0);
+  // At start: believes total is 200 -> remaining 200.
+  EXPECT_DOUBLE_EQ(exec.EstimateRemainingCost(), 200.0);
+  exec.Advance(50.0);  // half done: believed total = 150 -> remaining 100
+  EXPECT_DOUBLE_EQ(exec.EstimateRemainingCost(), 100.0);
+  exec.Advance(25.0);  // 75%: believed total = 125 -> remaining 50
+  EXPECT_DOUBLE_EQ(exec.EstimateRemainingCost(), 50.0);
+}
+
+TEST(SyntheticQueryTest, ZeroCostIsImmediatelyDone) {
+  SyntheticQueryExecution exec(0.0, 0.0);
+  EXPECT_TRUE(exec.done());
+  EXPECT_DOUBLE_EQ(exec.Advance(10.0), 0.0);
+}
+
+TEST(PlannerSpecTest, SyntheticThroughPlanner) {
+  Catalog catalog;
+  storage::BufferManager buffers;
+  Planner planner(&catalog, &buffers, {.noise_sigma = 0.0});
+  auto prepared = planner.Prepare(QuerySpec::Synthetic(500.0));
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_DOUBLE_EQ(prepared->optimizer_cost, 500.0);
+  auto cost = planner.MeasureTrueCost(QuerySpec::Synthetic(500.0));
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(*cost, 500.0);
+  EXPECT_TRUE(planner.Prepare(QuerySpec::Synthetic(-1.0)).status()
+                  .IsInvalidArgument());
+}
+
+TEST(PlannerSpecTest, UnknownTableFails) {
+  Catalog catalog;
+  storage::BufferManager buffers;
+  Planner planner(&catalog, &buffers);
+  EXPECT_TRUE(planner.Prepare(QuerySpec::TpcrPartPrice("nope")).status()
+                  .IsNotFound());
+  EXPECT_TRUE(
+      planner.Prepare(QuerySpec::ScanAggregate("nope", AggFunc::kCount, ""))
+          .status()
+          .IsNotFound());
+}
+
+TEST(QuerySpecTest, ToStringRendering) {
+  EXPECT_NE(QuerySpec::TpcrPartPrice("part_9").ToString().find("part_9"),
+            std::string::npos);
+  EXPECT_NE(QuerySpec::Synthetic(42.0).ToString().find("synthetic"),
+            std::string::npos);
+  auto agg = QuerySpec::ScanAggregate("t", AggFunc::kSum, "v")
+                 .WithFilter("v", 1.0);
+  EXPECT_NE(agg.ToString().find("where"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mqpi::engine

@@ -1,0 +1,197 @@
+// Robustness tests:
+//  * parser fuzzing — random token soups and mutated valid statements
+//    must either parse or fail cleanly (no crash, no hang),
+//  * scheduler soak — long random interleavings of submit / block /
+//    resume / abort / priority / step keep every invariant intact.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+#include "engine/sql_parser.h"
+#include "sched/rdbms.h"
+#include "storage/catalog.h"
+
+namespace mqpi {
+namespace {
+
+using engine::ParseSql;
+using engine::QuerySpec;
+
+// ---- parser fuzz -----------------------------------------------------------------
+
+TEST(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
+  const char* vocabulary[] = {
+      "select", "from",  "where",    "group",    "by",    "order", "limit",
+      "join",   "on",    "count",    "sum",      "avg",   "min",   "max",
+      "desc",   "asc",   "lineitem", "part_1",   "p",     "l",     "*",
+      "(",      ")",     ",",        ".",        ">",     "=",     "/",
+      "0.75",   "25",    "partkey",  "quantity", "retailprice",
+      "extendedprice",   "suppkey"};
+  Rng rng(90001);
+  int parsed_ok = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    std::string sql;
+    const int len = static_cast<int>(rng.UniformInt(1, 24));
+    for (int i = 0; i < len; ++i) {
+      sql += vocabulary[rng.UniformInt(
+          0, static_cast<std::int64_t>(std::size(vocabulary)) - 1)];
+      sql += ' ';
+    }
+    auto result = ParseSql(sql);  // must not crash
+    if (result.ok()) ++parsed_ok;
+  }
+  // Random soups occasionally form valid statements; most must fail.
+  EXPECT_LT(parsed_ok, 300);
+}
+
+TEST(ParserFuzzTest, MutatedValidStatementsFailCleanly) {
+  const std::string valid =
+      "select * from part_1 p where p.retailprice * 0.75 > "
+      "(select sum(l.extendedprice) / sum(l.quantity) from lineitem l "
+      "where l.partkey = p.partkey)";
+  Rng rng(90002);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string mutated = valid;
+    const int mutations = static_cast<int>(rng.UniformInt(1, 3));
+    for (int m = 0; m < mutations; ++m) {
+      const auto pos = static_cast<std::size_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(mutated.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          mutated.erase(pos, 1);
+          break;
+        case 1:
+          mutated.insert(pos, 1, static_cast<char>(rng.UniformInt(32, 126)));
+          break;
+        default:
+          mutated[pos] = static_cast<char>(rng.UniformInt(32, 126));
+          break;
+      }
+    }
+    auto result = ParseSql(mutated);  // must not crash
+    if (result.ok()) {
+      // If it still parses, it must be one of the known kinds.
+      SUCCEED();
+    }
+  }
+}
+
+TEST(ParserFuzzTest, PathologicalInputs) {
+  EXPECT_FALSE(ParseSql("").ok());
+  EXPECT_FALSE(ParseSql("   \t\n  ").ok());
+  EXPECT_FALSE(ParseSql(std::string(10000, '(')).ok());
+  EXPECT_FALSE(ParseSql("select " + std::string(5000, 'x')).ok());
+  std::string deep = "select count(*) from t where x > ";
+  deep += std::string(2000, '9');
+  auto r = ParseSql(deep);  // giant number literal
+  EXPECT_TRUE(r.ok() || r.status().IsInvalidArgument());
+}
+
+// ---- scheduler soak -----------------------------------------------------------------
+
+class SchedulerSoakTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerSoakTest, RandomOperationsPreserveInvariants) {
+  Rng rng(91000 + static_cast<std::uint64_t>(GetParam()));
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = rng.Uniform(50.0, 300.0);
+  options.quantum = 0.1;
+  options.max_concurrent = static_cast<int>(rng.UniformInt(1, 6));
+  options.max_query_seconds =
+      rng.NextDouble() < 0.3 ? rng.Uniform(1.0, 5.0) : 0.0;
+  options.cost_model.noise_sigma = 0.2;
+  sched::Rdbms db(&catalog, options);
+
+  std::vector<QueryId> ids;
+  double submitted_work = 0.0;
+  for (int op = 0; op < 400; ++op) {
+    switch (rng.UniformInt(0, 9)) {
+      case 0:
+      case 1:
+      case 2: {  // submit
+        const double cost = rng.Uniform(5.0, 300.0);
+        auto id = db.Submit(QuerySpec::Synthetic(cost),
+                            static_cast<Priority>(rng.UniformInt(0, 3)));
+        ASSERT_TRUE(id.ok());
+        ids.push_back(*id);
+        submitted_work += cost;
+        break;
+      }
+      case 3: {  // block something (may legitimately fail)
+        if (!ids.empty()) {
+          db.Block(ids[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(ids.size()) - 1))]);
+        }
+        break;
+      }
+      case 4: {  // resume something
+        if (!ids.empty()) {
+          db.Resume(ids[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(ids.size()) - 1))]);
+        }
+        break;
+      }
+      case 5: {  // abort something
+        if (!ids.empty()) {
+          db.Abort(ids[static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(ids.size()) - 1))]);
+        }
+        break;
+      }
+      case 6: {  // change a priority
+        if (!ids.empty()) {
+          db.SetPriority(ids[static_cast<std::size_t>(rng.UniformInt(
+                             0, static_cast<std::int64_t>(ids.size()) - 1))],
+                         static_cast<Priority>(rng.UniformInt(0, 3)));
+        }
+        break;
+      }
+      case 7: {  // toggle admission
+        db.SetAdmissionOpen(rng.NextDouble() < 0.8);
+        break;
+      }
+      default: {  // step
+        db.Step(rng.Uniform(0.1, 1.0));
+        break;
+      }
+    }
+
+    // Invariants after every operation.
+    ASSERT_LE(db.num_running(), options.max_concurrent);
+    double total_completed = 0.0;
+    int blocked = 0;
+    for (const auto& info : db.AllQueries()) {
+      total_completed += info.completed_work;
+      if (info.state == sched::QueryState::kBlocked) ++blocked;
+      if (info.state == sched::QueryState::kFinished) {
+        ASSERT_GE(info.finish_time, info.start_time - 1e-9);
+      }
+      if (info.state == sched::QueryState::kQueued) {
+        ASSERT_DOUBLE_EQ(info.completed_work, 0.0);
+      }
+    }
+    // Work is never manufactured from nothing.
+    ASSERT_LE(total_completed,
+              submitted_work + options.processing_rate * db.now() + 1e-6);
+  }
+
+  // Drain: resume everything blocked, reopen admission, run to idle.
+  db.SetAdmissionOpen(true);
+  for (QueryId id : ids) db.Resume(id);
+  db.RunUntilIdle(db.now() + 10000.0);
+  for (QueryId id : ids) {
+    const auto info = *db.info(id);
+    ASSERT_TRUE(info.state == sched::QueryState::kFinished ||
+                info.state == sched::QueryState::kAborted)
+        << "query " << id << " stuck in "
+        << sched::QueryStateName(info.state);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SchedulerSoakTest, ::testing::Range(0, 6));
+
+}  // namespace
+}  // namespace mqpi

@@ -1,0 +1,217 @@
+// Cross-cutting property tests:
+//  * exact page accounting for scans over parameterized table shapes,
+//  * the analytic simulator (with admission queue AND virtual arrivals)
+//    against an independent fine-grained Euler integration of the same
+//    fluid model,
+//  * estimate-refinement monotonicity at completion.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "engine/planner.h"
+#include "pi/analytic_simulator.h"
+#include "storage/catalog.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi {
+namespace {
+
+using engine::QuerySpec;
+using pi::AnalyticModelOptions;
+using pi::AnalyticSimulator;
+using pi::FutureArrival;
+using pi::QueryLoad;
+
+// ---- page accounting over table shapes ----------------------------------------
+
+class PageAccountingTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PageAccountingTest, SeqScanChargesExactPageCount) {
+  const int rows = GetParam();
+  storage::Catalog catalog;
+  auto table = catalog.CreateTable(
+      "t", storage::Schema({{"k", storage::ColumnType::kInt64},
+                            {"v", storage::ColumnType::kDouble}}));
+  ASSERT_TRUE(table.ok());
+  for (int i = 0; i < rows; ++i) {
+    ASSERT_TRUE((*table)
+                    ->Append(storage::Tuple(
+                        {storage::Value{static_cast<std::int64_t>(i)},
+                         storage::Value{1.0}}))
+                    .ok());
+  }
+  storage::BufferManager pool;
+  storage::BufferAccount account(&pool);
+  engine::ExecContext ctx;
+  ctx.account = &account;
+  engine::SeqScanOperator scan(*table);
+  storage::Tuple row;
+  std::uint64_t count = 0;
+  while (true) {
+    auto step = scan.Next(&ctx, &row);
+    ASSERT_TRUE(step.ok());
+    if (*step == engine::OpResult::kDone) break;
+    ++count;
+  }
+  EXPECT_EQ(count, static_cast<std::uint64_t>(rows));
+  EXPECT_DOUBLE_EQ(account.charged(),
+                   static_cast<double>((*table)->num_pages()));
+  const std::size_t tpp = (*table)->tuples_per_page();
+  const std::uint64_t expected_pages =
+      rows == 0 ? 0 : (static_cast<std::uint64_t>(rows) + tpp - 1) / tpp;
+  EXPECT_EQ((*table)->num_pages(), expected_pages);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableShapes, PageAccountingTest,
+                         ::testing::Values(0, 1, 100, 203, 204, 205, 1000,
+                                           5000));
+
+// ---- analytic simulator vs Euler integration ------------------------------------
+
+struct FluidQuery {
+  QueryId id;
+  double remaining;
+  double weight;
+  bool active;
+  double finish = -1.0;
+};
+
+/// Independent fine-grained integration of the fluid model with FIFO
+/// admission and a virtual arrival stream.
+std::vector<FluidQuery> EulerIntegrate(
+    std::vector<FluidQuery> running, std::vector<FluidQuery> queued,
+    std::vector<FutureArrival> arrivals, const AnalyticModelOptions& options,
+    double dt, double horizon) {
+  std::vector<FluidQuery> all = running;
+  for (auto& q : all) q.active = true;
+  std::vector<FluidQuery> waiting = queued;
+  std::size_t arrival_pos = 0;
+  double next_virtual =
+      options.virtual_interval > 0.0 ? options.virtual_interval : 1e18;
+  QueryId virtual_id = 1'000'000;
+
+  for (double t = 0.0; t < horizon; t += dt) {
+    // Arrivals whose time passed.
+    while (arrival_pos < arrivals.size() &&
+           arrivals[arrival_pos].time <= t) {
+      waiting.push_back(FluidQuery{arrivals[arrival_pos].id,
+                                   arrivals[arrival_pos].cost,
+                                   arrivals[arrival_pos].weight, false});
+      ++arrival_pos;
+    }
+    while (next_virtual <= t) {
+      waiting.push_back(FluidQuery{virtual_id++, options.virtual_cost,
+                                   options.virtual_weight, false});
+      next_virtual += options.virtual_interval;
+    }
+    // Admission.
+    int active_count = 0;
+    for (const auto& q : all) {
+      if (q.active && q.finish < 0.0) ++active_count;
+    }
+    while (!waiting.empty() && active_count < options.max_concurrent) {
+      FluidQuery q = waiting.front();
+      waiting.erase(waiting.begin());
+      q.active = true;
+      all.push_back(q);
+      ++active_count;
+    }
+    // Progress.
+    double total_weight = 0.0;
+    for (const auto& q : all) {
+      if (q.active && q.finish < 0.0) total_weight += q.weight;
+    }
+    if (total_weight <= 0.0) continue;
+    for (auto& q : all) {
+      if (!q.active || q.finish >= 0.0) continue;
+      q.remaining -= options.rate * dt * q.weight / total_weight;
+      if (q.remaining <= 0.0) q.finish = t + dt;
+    }
+  }
+  return all;
+}
+
+class FluidPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FluidPropertyTest, AnalyticMatchesEulerWithQueueAndVirtuals) {
+  Rng rng(60000 + static_cast<std::uint64_t>(GetParam()));
+  AnalyticModelOptions options;
+  options.rate = 100.0;
+  options.max_concurrent = static_cast<int>(rng.UniformInt(1, 5));
+  if (rng.NextDouble() < 0.7) {
+    options.virtual_interval = rng.Uniform(0.5, 5.0);
+    options.virtual_cost = rng.Uniform(10.0, 150.0);
+    options.virtual_weight = 1.0;
+  }
+
+  std::vector<QueryLoad> running;
+  std::vector<FluidQuery> running_fluid;
+  const int n = static_cast<int>(rng.UniformInt(1, 5));
+  for (int i = 0; i < n; ++i) {
+    const double cost = rng.Uniform(20.0, 400.0);
+    const double weight = rng.Uniform(0.5, 4.0);
+    running.push_back(QueryLoad{static_cast<QueryId>(i + 1), cost, weight});
+    running_fluid.push_back(
+        FluidQuery{static_cast<QueryId>(i + 1), cost, weight, true});
+  }
+  std::vector<FutureArrival> arrivals;
+  std::vector<double> times;
+  const int na = static_cast<int>(rng.UniformInt(0, 3));
+  for (int i = 0; i < na; ++i) times.push_back(rng.Uniform(0.1, 5.0));
+  std::sort(times.begin(), times.end());
+  for (int i = 0; i < na; ++i) {
+    arrivals.push_back(FutureArrival{times[static_cast<std::size_t>(i)],
+                                     rng.Uniform(10.0, 200.0), 1.0,
+                                     static_cast<QueryId>(100 + i)});
+  }
+
+  auto forecast =
+      AnalyticSimulator::Forecast(running, {}, arrivals, options);
+  ASSERT_TRUE(forecast.ok());
+
+  const double dt = 0.002;
+  const auto fluid = EulerIntegrate(running_fluid, {}, arrivals, options,
+                                    dt, /*horizon=*/500.0);
+  for (const auto& q : fluid) {
+    if (q.id >= 1'000'000) continue;  // virtual
+    auto predicted = forecast->FinishTimeOf(q.id);
+    ASSERT_TRUE(predicted.ok()) << "query " << q.id;
+    ASSERT_GT(q.finish, 0.0) << "query " << q.id;
+    EXPECT_NEAR(*predicted, q.finish, 0.01 * q.finish + 3.0 * dt)
+        << "query " << q.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FluidPropertyTest, ::testing::Range(0, 10));
+
+// ---- refinement sanity ------------------------------------------------------------
+
+TEST(RefinementTest, EstimateHitsZeroAtCompletion) {
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 150, .matches_per_key = 4, .seed = 44});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  ASSERT_TRUE(generator.BuildPartTable(&catalog, "part_1", 4).ok());
+  storage::BufferManager pool;
+  engine::Planner planner(&catalog, &pool, {.noise_sigma = 0.5,
+                                            .noise_seed = 77});
+  for (auto spec :
+       {QuerySpec::TpcrPartPrice("part_1"),
+        QuerySpec::ScanAggregate("lineitem", engine::AggFunc::kCount, ""),
+        QuerySpec::JoinAggregate("part_1", engine::AggFunc::kCount, ""),
+        QuerySpec::GroupByAggregate("lineitem", "suppkey",
+                                    engine::AggFunc::kCount, ""),
+        QuerySpec::TopN("lineitem", "extendedprice", true, 5)}) {
+    auto prepared = planner.Prepare(spec);
+    ASSERT_TRUE(prepared.ok()) << spec.ToString();
+    auto* exec = prepared->execution.get();
+    while (!exec->done()) exec->Advance(40.0);
+    EXPECT_DOUBLE_EQ(exec->EstimateRemainingCost(), 0.0) << spec.ToString();
+    EXPECT_TRUE(exec->status().ok()) << spec.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace mqpi

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/report.h"
+#include "sim/runner.h"
+#include "storage/tpcr_gen.h"
+#include "workload/arrival_schedule.h"
+#include "workload/zipf_workload.h"
+
+namespace mqpi {
+namespace {
+
+using engine::QuerySpec;
+
+// ---- SeriesTable ----------------------------------------------------------------
+
+TEST(SeriesTableTest, TextRenderingAligned) {
+  sim::SeriesTable table("demo", "x", {"a", "bb"});
+  table.AddRow(1.0, {2.0, 3.5});
+  table.AddRow(10.0, {20.25, kUnknown});
+  std::ostringstream os;
+  table.PrintText(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("== demo =="), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+  EXPECT_NE(out.find("20.25"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);  // kUnknown renders as -
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(SeriesTableTest, CsvRendering) {
+  sim::SeriesTable table("demo", "lambda", {"err"});
+  table.AddRow(0.05, {0.125});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_EQ(os.str(), "lambda,err\n0.05,0.125\n");
+}
+
+TEST(SeriesTableTest, InfinityRenders) {
+  sim::SeriesTable table("demo", "x", {"y"});
+  table.AddRow(1.0, {kInfiniteTime});
+  std::ostringstream os;
+  table.PrintCsv(os);
+  EXPECT_NE(os.str().find("inf"), std::string::npos);
+}
+
+// ---- ZipfWorkload ----------------------------------------------------------------
+
+class ZipfWorkloadTest : public ::testing::Test {
+ protected:
+  ZipfWorkloadTest()
+      : generator_({.num_part_keys = 500, .matches_per_key = 6, .seed = 3}),
+        workload_(&catalog_, &generator_,
+                  {.max_rank = 5, .a = 2.0, .n_scale = 2}) {}
+
+  storage::Catalog catalog_;
+  storage::TpcrGenerator generator_;
+  workload::ZipfWorkload workload_;
+};
+
+TEST_F(ZipfWorkloadTest, MaterializesAllTables) {
+  ASSERT_TRUE(workload_.MaterializeTables().ok());
+  EXPECT_TRUE(catalog_.GetTable("lineitem").ok());
+  for (int rank = 1; rank <= 5; ++rank) {
+    auto table = catalog_.GetTable(
+        storage::TpcrGenerator::PartTableName(rank));
+    ASSERT_TRUE(table.ok()) << "rank " << rank;
+    // part_rank has 10 * n_scale * rank tuples.
+    EXPECT_EQ((*table)->num_tuples(),
+              static_cast<std::size_t>(10 * 2 * rank));
+  }
+  // Idempotent.
+  EXPECT_TRUE(workload_.MaterializeTables().ok());
+}
+
+TEST_F(ZipfWorkloadTest, RanksWithinRangeAndZipfShaped) {
+  ASSERT_TRUE(workload_.MaterializeTables().ok());
+  Rng rng(17);
+  int count_rank1 = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const int rank = workload_.SampleRank(&rng);
+    EXPECT_GE(rank, 1);
+    EXPECT_LE(rank, 5);
+    if (rank == 1) ++count_rank1;
+  }
+  // P(rank=1) for Zipf(2.0, n=5) ~ 1/1.4636 ~ 0.683.
+  EXPECT_NEAR(count_rank1 / 4000.0, workload_.RankProbability(1), 0.03);
+}
+
+TEST_F(ZipfWorkloadTest, TrueCostsCachedAndMonotone) {
+  ASSERT_TRUE(workload_.MaterializeTables().ok());
+  storage::BufferManager buffers;
+  engine::Planner planner(&catalog_, &buffers, {.noise_sigma = 0.0});
+  auto c1 = workload_.TrueCostOfRank(&planner, 1);
+  auto c5 = workload_.TrueCostOfRank(&planner, 5);
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c5.ok());
+  EXPECT_GT(*c5, *c1);  // bigger part table, bigger query
+  // Cached: identical on re-query.
+  EXPECT_DOUBLE_EQ(*workload_.TrueCostOfRank(&planner, 1), *c1);
+  EXPECT_TRUE(workload_.TrueCostOfRank(&planner, 9).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ZipfWorkloadTest, AverageCostIsProbabilityWeighted) {
+  ASSERT_TRUE(workload_.MaterializeTables().ok());
+  storage::BufferManager buffers;
+  engine::Planner planner(&catalog_, &buffers, {.noise_sigma = 0.0});
+  auto avg = workload_.AverageTrueCost(&planner);
+  ASSERT_TRUE(avg.ok());
+  double expected = 0.0;
+  for (int rank = 1; rank <= 5; ++rank) {
+    expected += workload_.RankProbability(rank) *
+                *workload_.TrueCostOfRank(&planner, rank);
+  }
+  EXPECT_NEAR(*avg, expected, 1e-9);
+  // Average sits between the extremes.
+  EXPECT_GT(*avg, *workload_.TrueCostOfRank(&planner, 1));
+  EXPECT_LT(*avg, *workload_.TrueCostOfRank(&planner, 5));
+}
+
+// ---- arrival schedule ---------------------------------------------------------------
+
+TEST_F(ZipfWorkloadTest, PoissonArrivalsRespectHorizonAndRate) {
+  ASSERT_TRUE(workload_.MaterializeTables().ok());
+  Rng rng(23);
+  const auto schedule =
+      workload::GeneratePoissonArrivals(workload_, 0.5, 2000.0, &rng);
+  ASSERT_FALSE(schedule.empty());
+  double prev = 0.0;
+  for (const auto& arrival : schedule) {
+    EXPECT_GT(arrival.time, prev);
+    EXPECT_LT(arrival.time, 2000.0);
+    EXPECT_GE(arrival.rank, 1);
+    EXPECT_LE(arrival.rank, 5);
+    prev = arrival.time;
+  }
+  // ~lambda * horizon arrivals.
+  EXPECT_NEAR(static_cast<double>(schedule.size()), 1000.0, 150.0);
+}
+
+TEST_F(ZipfWorkloadTest, ZeroRateMeansNoArrivals) {
+  Rng rng(29);
+  EXPECT_TRUE(
+      workload::GeneratePoissonArrivals(workload_, 0.0, 100.0, &rng)
+          .empty());
+}
+
+// ---- SimulationRunner ---------------------------------------------------------------
+
+class RunnerTest : public ::testing::Test {
+ protected:
+  RunnerTest() {
+    options_.processing_rate = 100.0;
+    options_.quantum = 0.1;
+    options_.cost_model.noise_sigma = 0.0;
+    db_ = std::make_unique<sched::Rdbms>(&catalog_, options_);
+    runner_ = std::make_unique<sim::SimulationRunner>(db_.get());
+  }
+  storage::Catalog catalog_;
+  sched::RdbmsOptions options_;
+  std::unique_ptr<sched::Rdbms> db_;
+  std::unique_ptr<sim::SimulationRunner> runner_;
+};
+
+TEST_F(RunnerTest, SubmitsScheduledArrivalsOnTime) {
+  runner_->ScheduleArrival(1.0, QuerySpec::Synthetic(50.0));
+  runner_->ScheduleArrival(2.5, QuerySpec::Synthetic(50.0));
+  runner_->StepFor(0.5);
+  EXPECT_EQ(db_->AllQueries().size(), 0u);
+  runner_->StepFor(1.0);  // now at 1.5
+  ASSERT_EQ(db_->AllQueries().size(), 1u);
+  EXPECT_NEAR(db_->AllQueries()[0].arrival_time, 1.0, 0.11);
+  runner_->RunUntilIdle();
+  EXPECT_EQ(db_->AllQueries().size(), 2u);
+  EXPECT_EQ(runner_->submitted().size(), 2u);
+}
+
+TEST_F(RunnerTest, RunUntilFinishedWatchesTargets) {
+  auto a = runner_->SubmitNow(QuerySpec::Synthetic(100.0));
+  auto b = runner_->SubmitNow(QuerySpec::Synthetic(500.0));
+  ASSERT_TRUE(b.ok());
+  runner_->RunUntilFinished({*a});
+  EXPECT_EQ(db_->info(*a)->state, sched::QueryState::kFinished);
+  EXPECT_EQ(db_->info(*b)->state, sched::QueryState::kRunning);
+}
+
+TEST_F(RunnerTest, RunUntilIdleWaitsForFutureArrivals) {
+  runner_->ScheduleArrival(3.0, QuerySpec::Synthetic(100.0));
+  runner_->RunUntilIdle();
+  EXPECT_GE(db_->now(), 4.0 - 0.2);  // arrival at 3 + 1 s execution
+  EXPECT_TRUE(db_->Idle());
+}
+
+TEST_F(RunnerTest, FinishTimeOfReportsTerminals) {
+  auto a = runner_->SubmitNow(QuerySpec::Synthetic(100.0));
+  EXPECT_EQ(runner_->FinishTimeOf(*a), kUnknown);
+  runner_->RunUntilIdle();
+  EXPECT_NEAR(runner_->FinishTimeOf(*a), 1.0, 0.11);
+  EXPECT_EQ(runner_->FinishTimeOf(999), kUnknown);
+}
+
+TEST_F(RunnerTest, DeadlineBoundsRun) {
+  runner_->SubmitNow(QuerySpec::Synthetic(10000.0));
+  const SimTime end = runner_->RunUntilIdle(5.0);
+  EXPECT_NEAR(end, 5.0, 0.2);
+  EXPECT_FALSE(db_->Idle());
+}
+
+// ---- determinism ---------------------------------------------------------------------
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  // Two complete simulations with the same seed must agree exactly on
+  // every finish time — the property all multi-run experiments rely on.
+  auto run = [](std::uint64_t seed) {
+    storage::Catalog catalog;
+    storage::TpcrGenerator generator(
+        {.num_part_keys = 400, .matches_per_key = 5, .seed = 11});
+    workload::ZipfWorkload workload(&catalog, &generator,
+                                    {.max_rank = 4, .a = 1.5, .n_scale = 2});
+    EXPECT_TRUE(workload.MaterializeTables().ok());
+    sched::RdbmsOptions options;
+    options.processing_rate = 200.0;
+    options.quantum = 0.1;
+    options.cost_model.noise_sigma = 0.3;
+    options.cost_model.noise_seed = seed;
+    sched::Rdbms db(&catalog, options);
+    sim::SimulationRunner runner(&db);
+    Rng rng(seed);
+    std::vector<QueryId> ids;
+    for (int i = 0; i < 5; ++i) {
+      auto id = runner.SubmitNow(workload.SampleSpec(&rng));
+      ids.push_back(*id);
+    }
+    runner.RunUntilIdle();
+    std::vector<double> finishes;
+    for (QueryId id : ids) finishes.push_back(db.info(id)->finish_time);
+    return finishes;
+  };
+  const auto a = run(77);
+  const auto b = run(77);
+  const auto c = run(78);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]) << i;
+  }
+  // A different seed should give a different trajectory.
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != c[i]) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+}  // namespace
+}  // namespace mqpi

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "engine/sql_parser.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi::engine {
+namespace {
+
+using internal::Token;
+using internal::TokenKind;
+using internal::Tokenize;
+
+// ---- tokenizer ----------------------------------------------------------------
+
+TEST(TokenizerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT * FROM t WHERE x > 1.5");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 9u);  // 8 + end
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ((*tokens)[0].text, "select");  // lower-cased
+  EXPECT_EQ((*tokens)[1].kind, TokenKind::kStar);
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kIdentifier);  // x
+  EXPECT_EQ((*tokens)[6].kind, TokenKind::kGt);
+  EXPECT_EQ((*tokens)[7].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[7].number, 1.5);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEnd);
+}
+
+TEST(TokenizerTest, PunctuationAndPositions) {
+  auto tokens = Tokenize("a.b(c)=d/e,f");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const auto& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdentifier, TokenKind::kDot,
+                       TokenKind::kIdentifier, TokenKind::kLParen,
+                       TokenKind::kIdentifier, TokenKind::kRParen,
+                       TokenKind::kEq, TokenKind::kIdentifier,
+                       TokenKind::kDiv, TokenKind::kIdentifier,
+                       TokenKind::kComma, TokenKind::kIdentifier,
+                       TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[1].position, 1u);
+}
+
+TEST(TokenizerTest, RejectsUnknownCharacter) {
+  EXPECT_TRUE(Tokenize("select ; drop").status().IsInvalidArgument());
+}
+
+TEST(TokenizerTest, NumbersWithLeadingDot) {
+  auto tokens = Tokenize(".75");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].kind, TokenKind::kNumber);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 0.75);
+}
+
+// ---- scan aggregates -------------------------------------------------------------
+
+TEST(ParserTest, CountStar) {
+  auto spec = ParseSql("SELECT COUNT(*) FROM lineitem");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kScanAggregate);
+  EXPECT_EQ(spec->agg, AggFunc::kCount);
+  EXPECT_EQ(spec->table, "lineitem");
+  EXPECT_FALSE(spec->has_filter);
+}
+
+TEST(ParserTest, SumWithFilter) {
+  auto spec =
+      ParseSql("select sum(quantity) from lineitem where quantity > 25");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->agg, AggFunc::kSum);
+  EXPECT_EQ(spec->agg_column, "quantity");
+  ASSERT_TRUE(spec->has_filter);
+  EXPECT_EQ(spec->filter_column, "quantity");
+  EXPECT_DOUBLE_EQ(spec->filter_threshold, 25.0);
+}
+
+TEST(ParserTest, AllAggregateFunctions) {
+  for (const auto& [sql, func] :
+       std::vector<std::pair<std::string, AggFunc>>{
+           {"select avg(x) from t", AggFunc::kAvg},
+           {"select min(x) from t", AggFunc::kMin},
+           {"select max(x) from t", AggFunc::kMax}}) {
+    auto spec = ParseSql(sql);
+    ASSERT_TRUE(spec.ok()) << sql;
+    EXPECT_EQ(spec->agg, func) << sql;
+  }
+}
+
+TEST(ParserTest, QualifiedColumnAndAlias) {
+  auto spec = ParseSql("select avg(l.extendedprice) from lineitem l "
+                       "where l.quantity > 10");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->agg_column, "extendedprice");
+  EXPECT_EQ(spec->filter_column, "quantity");
+}
+
+// ---- join aggregates --------------------------------------------------------------
+
+TEST(ParserTest, JoinAggregate) {
+  auto spec = ParseSql(
+      "SELECT SUM(l.extendedprice) FROM part_3 p JOIN lineitem l "
+      "ON p.partkey = l.partkey");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kJoinAggregate);
+  EXPECT_EQ(spec->table, "part_3");
+  EXPECT_EQ(spec->agg, AggFunc::kSum);
+  EXPECT_EQ(spec->agg_column, "extendedprice");
+}
+
+TEST(ParserTest, JoinWithoutAliases) {
+  auto spec = ParseSql(
+      "select count(*) from part_1 join lineitem on partkey = partkey");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kJoinAggregate);
+}
+
+TEST(ParserTest, JoinMustProbeLineitem) {
+  EXPECT_FALSE(ParseSql("select count(*) from part_1 join part_2 "
+                        "on partkey = partkey")
+                   .ok());
+}
+
+TEST(ParserTest, JoinMustUsePartkey) {
+  EXPECT_FALSE(ParseSql("select count(*) from part_1 join lineitem "
+                        "on suppkey = suppkey")
+                   .ok());
+}
+
+// ---- the paper's template -----------------------------------------------------------
+
+TEST(ParserTest, TpcrTemplate) {
+  auto spec = ParseSql(
+      "select * from part_7 p where p.retailprice * 0.75 > "
+      "(select sum(l.extendedprice) / sum(l.quantity) from lineitem l "
+      "where l.partkey = p.partkey)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kTpcrPartPrice);
+  EXPECT_EQ(spec->table, "part_7");
+}
+
+TEST(ParserTest, TemplateRejectsWrongPieces) {
+  // Wrong multiplier.
+  EXPECT_FALSE(ParseSql("select * from p x where x.retailprice * 0.5 > "
+                        "(select sum(l.extendedprice) / sum(l.quantity) "
+                        "from lineitem l where l.partkey = x.partkey)")
+                   .ok());
+  // Wrong numerator.
+  EXPECT_FALSE(ParseSql("select * from p x where x.retailprice * 0.75 > "
+                        "(select sum(l.tax) / sum(l.quantity) "
+                        "from lineitem l where l.partkey = x.partkey)")
+                   .ok());
+  // Wrong inner table.
+  EXPECT_FALSE(ParseSql("select * from p x where x.retailprice * 0.75 > "
+                        "(select sum(l.extendedprice) / sum(l.quantity) "
+                        "from orders l where l.partkey = x.partkey)")
+                   .ok());
+}
+
+// ---- errors ---------------------------------------------------------------------------
+
+TEST(ParserTest, ErrorsCarryOffsets) {
+  auto result = ParseSql("select count(*) from");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  // ("extra" alone would parse as a table alias.)
+  EXPECT_FALSE(ParseSql("select count(*) from t where x > 1 zzz").ok());
+  EXPECT_FALSE(ParseSql("select count(*) from t alias zzz").ok());
+}
+
+TEST(ParserTest, RejectsUnknownAggregate) {
+  EXPECT_FALSE(ParseSql("select median(x) from t").ok());
+}
+
+TEST(ParserTest, RejectsMissingSelect) {
+  EXPECT_FALSE(ParseSql("count(*) from t").ok());
+}
+
+// ---- end-to-end: parse then execute ---------------------------------------------------
+
+TEST(ParserExecutionTest, ParsedQueryRuns) {
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 200, .matches_per_key = 5, .seed = 3});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  ASSERT_TRUE(generator.BuildPartTable(&catalog, "part_1", 8).ok());
+  storage::BufferManager buffers;
+  Planner planner(&catalog, &buffers, {.noise_sigma = 0.0});
+
+  for (const char* sql :
+       {"select count(*) from lineitem where quantity > 40",
+        "select sum(l.extendedprice) from part_1 p join lineitem l "
+        "on p.partkey = l.partkey",
+        "select * from part_1 p where p.retailprice * 0.75 > "
+        "(select sum(l.extendedprice) / sum(l.quantity) from lineitem l "
+        "where l.partkey = p.partkey)"}) {
+    auto spec = ParseSql(sql);
+    ASSERT_TRUE(spec.ok()) << sql << ": " << spec.status().ToString();
+    auto prepared = planner.Prepare(*spec);
+    ASSERT_TRUE(prepared.ok()) << sql;
+    while (!prepared->execution->done()) prepared->execution->Advance(100.0);
+    EXPECT_TRUE(prepared->execution->status().ok()) << sql;
+    EXPECT_GT(prepared->execution->completed_work(), 0.0) << sql;
+  }
+}
+
+}  // namespace
+}  // namespace mqpi::engine

@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "pi/analytic_simulator.h"
+#include "pi/stage_profile.h"
+#include "sched/rdbms.h"
+#include "storage/catalog.h"
+
+namespace mqpi::pi {
+namespace {
+
+// ---- closed-form basics -------------------------------------------------------
+
+TEST(StageProfileTest, EmptyInput) {
+  auto profile = StageProfile::Compute({}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_EQ(profile->num_queries(), 0u);
+  EXPECT_DOUBLE_EQ(profile->quiescent_time(), 0.0);
+}
+
+TEST(StageProfileTest, SingleQuery) {
+  auto profile = StageProfile::Compute({{1, 300.0, 1.0}}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(1), 3.0);
+  EXPECT_DOUBLE_EQ(profile->quiescent_time(), 3.0);
+}
+
+TEST(StageProfileTest, PaperFigure1Shape) {
+  // Four equal-priority queries (Figure 1): costs 100, 200, 300, 400 at
+  // C = 100. Stage boundaries: Q1 at 4*1=4 (it needs 100 at speed 25),
+  // then Q2 has 100 left at speed 100/3, ...
+  auto profile = StageProfile::Compute(
+      {{1, 100.0, 1.0}, {2, 200.0, 1.0}, {3, 300.0, 1.0}, {4, 400.0, 1.0}},
+      100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(1), 4.0);
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(2), 7.0);   // 4 + 100/(100/3)
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(3), 9.0);   // 7 + 100/(100/2)
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(4), 10.0);  // 9 + 100/100
+  // Quiescent time = total work / C, always.
+  EXPECT_DOUBLE_EQ(profile->quiescent_time(), 10.0);
+}
+
+TEST(StageProfileTest, FinishOrderSortsByCostOverWeight) {
+  auto profile = StageProfile::Compute(
+      {{1, 400.0, 4.0}, {2, 300.0, 1.0}, {3, 100.0, 2.0}}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  // ratios: Q1=100, Q2=300, Q3=50 -> order Q3, Q1, Q2.
+  EXPECT_EQ(profile->finish_order()[0].id, 3u);
+  EXPECT_EQ(profile->finish_order()[1].id, 1u);
+  EXPECT_EQ(profile->finish_order()[2].id, 2u);
+}
+
+TEST(StageProfileTest, WeightedExample) {
+  // Two queries, weights 3 and 1, C = 100: speeds 75 / 25.
+  auto profile =
+      StageProfile::Compute({{1, 150.0, 3.0}, {2, 100.0, 1.0}}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  // Q1 ratio 50 < Q2 ratio 100 -> Q1 first at t = 150/75 = 2.
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(1), 2.0);
+  // Q2 did 50 U by t=2, then 50 left at full rate: 2 + 0.5.
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(2), 2.5);
+}
+
+TEST(StageProfileTest, ZeroCostQueryFinishesImmediately) {
+  auto profile =
+      StageProfile::Compute({{1, 0.0, 1.0}, {2, 100.0, 1.0}}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(1), 0.0);
+  // Q1 consumes no capacity, so Q2 effectively runs alone.
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(2), 1.0);
+}
+
+TEST(StageProfileTest, TiedRatiosFinishTogether) {
+  auto profile =
+      StageProfile::Compute({{1, 100.0, 1.0}, {2, 200.0, 2.0}}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(1), 3.0);
+  EXPECT_DOUBLE_EQ(*profile->RemainingTimeOf(2), 3.0);
+}
+
+TEST(StageProfileTest, InvalidInputsRejected) {
+  EXPECT_FALSE(StageProfile::Compute({{1, 10.0, 1.0}}, 0.0).ok());
+  EXPECT_FALSE(StageProfile::Compute({{1, 10.0, 0.0}}, 100.0).ok());
+  EXPECT_FALSE(StageProfile::Compute({{1, -1.0, 1.0}}, 100.0).ok());
+}
+
+TEST(StageProfileTest, UnknownQueryLookup) {
+  auto profile = StageProfile::Compute({{1, 10.0, 1.0}}, 100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_TRUE(profile->RemainingTimeOf(9).status().IsNotFound());
+  EXPECT_TRUE(profile->FinishPosition(9).status().IsNotFound());
+}
+
+// ---- property: profile matches the real scheduler -------------------------------
+
+class StageProfilePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StageProfilePropertyTest, PredictsSchedulerFinishTimes) {
+  // Random instances: the analytic remaining times must match the
+  // quantum-stepped scheduler's actual finish times for synthetic
+  // queries (Assumptions 1-3 hold by construction).
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.UniformInt(2, 12));
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.01;
+  options.cost_model.noise_sigma = 0.0;
+  options.weights = PriorityWeights(1.0, 2.0, 4.0, 8.0);
+  sched::Rdbms db(&catalog, options);
+
+  std::vector<QueryLoad> loads;
+  std::vector<QueryId> ids;
+  for (int i = 0; i < n; ++i) {
+    const double cost = rng.Uniform(10.0, 500.0);
+    const auto pri = static_cast<Priority>(rng.UniformInt(0, 3));
+    auto id = db.Submit(engine::QuerySpec::Synthetic(cost), pri);
+    ASSERT_TRUE(id.ok());
+    loads.push_back(QueryLoad{*id, cost, options.weights.WeightOf(pri)});
+    ids.push_back(*id);
+  }
+  auto profile = StageProfile::Compute(loads, options.processing_rate);
+  ASSERT_TRUE(profile.ok());
+  db.RunUntilIdle();
+  for (QueryId id : ids) {
+    const SimTime predicted = *profile->RemainingTimeOf(id);
+    const SimTime actual = db.info(id)->finish_time;
+    // Each earlier finisher can waste up to one quantum of shared
+    // capacity (its in-quantum surplus is not redistributed), so the
+    // bound scales with the number of queries.
+    EXPECT_NEAR(actual, predicted, (n + 2) * options.quantum + 1e-6)
+        << "query " << id;
+  }
+}
+
+TEST_P(StageProfilePropertyTest, AgreesWithAnalyticSimulator) {
+  // With no arrivals and no admission limit, the event-driven simulator
+  // must reproduce the closed form exactly.
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.UniformInt(1, 20));
+  std::vector<QueryLoad> loads;
+  for (int i = 0; i < n; ++i) {
+    loads.push_back(QueryLoad{static_cast<QueryId>(i + 1),
+                              rng.Uniform(0.0, 1000.0),
+                              rng.Uniform(0.5, 8.0)});
+  }
+  const double rate = rng.Uniform(10.0, 500.0);
+  auto profile = StageProfile::Compute(loads, rate);
+  ASSERT_TRUE(profile.ok());
+  AnalyticModelOptions model;
+  model.rate = rate;
+  auto forecast = AnalyticSimulator::Forecast(loads, {}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  for (const QueryLoad& q : loads) {
+    EXPECT_NEAR(*forecast->FinishTimeOf(q.id), *profile->RemainingTimeOf(q.id),
+                1e-6 * (1.0 + *profile->RemainingTimeOf(q.id)))
+        << "query " << q.id;
+  }
+  EXPECT_NEAR(forecast->quiescent_time(), profile->quiescent_time(),
+              1e-6 * (1.0 + profile->quiescent_time()));
+}
+
+TEST_P(StageProfilePropertyTest, QuiescentTimeEqualsTotalWorkOverRate) {
+  Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.UniformInt(1, 15));
+  std::vector<QueryLoad> loads;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double cost = rng.Uniform(0.0, 300.0);
+    total += cost;
+    loads.push_back(QueryLoad{static_cast<QueryId>(i + 1), cost,
+                              rng.Uniform(0.5, 4.0)});
+  }
+  auto profile = StageProfile::Compute(loads, 100.0);
+  ASSERT_TRUE(profile.ok());
+  EXPECT_NEAR(profile->quiescent_time(), total / 100.0,
+              1e-9 * (1.0 + total));
+}
+
+TEST_P(StageProfilePropertyTest, RemainingTimesAreMonotoneInFinishOrder) {
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const int n = static_cast<int>(rng.UniformInt(2, 30));
+  std::vector<QueryLoad> loads;
+  for (int i = 0; i < n; ++i) {
+    loads.push_back(QueryLoad{static_cast<QueryId>(i + 1),
+                              rng.Uniform(0.0, 500.0),
+                              rng.Uniform(0.25, 8.0)});
+  }
+  auto profile = StageProfile::Compute(loads, 50.0);
+  ASSERT_TRUE(profile.ok());
+  for (std::size_t i = 1; i < profile->num_queries(); ++i) {
+    EXPECT_LE(profile->remaining_times()[i - 1],
+              profile->remaining_times()[i] + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, StageProfilePropertyTest,
+                         ::testing::Range(0, 12));
+
+// ---- AnalyticSimulator specifics --------------------------------------------------
+
+TEST(AnalyticSimulatorTest, KnownArrivalDelaysExisting) {
+  // One running query of 100 U at C=100; at t=0.5 a second query of
+  // 100 U arrives. First query: 50 U alone, then 50 U at half speed
+  // -> finishes at 1.5. Arrival: 50 U shared (until 1.5) + 50 U... wait,
+  // both have 50 left at t=1.5? No: arrival does 25 U by t=1.5, then
+  // 75 alone -> 2.0. Check exact numbers.
+  std::vector<FutureArrival> arrivals{{0.5, 100.0, 1.0, 2}};
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  auto forecast =
+      AnalyticSimulator::Forecast({{1, 100.0, 1.0}}, {}, arrivals, model);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(*forecast->FinishTimeOf(1), 1.5, 1e-9);
+  EXPECT_NEAR(*forecast->FinishTimeOf(2), 2.0, 1e-9);
+}
+
+TEST(AnalyticSimulatorTest, AdmissionQueueSerializes) {
+  // Limit 1: queries run strictly in order.
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  model.max_concurrent = 1;
+  auto forecast = AnalyticSimulator::Forecast(
+      {{1, 100.0, 1.0}}, {{2, 200.0, 1.0}, {3, 100.0, 1.0}}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(*forecast->FinishTimeOf(1), 1.0, 1e-9);
+  EXPECT_NEAR(*forecast->FinishTimeOf(2), 3.0, 1e-9);
+  EXPECT_NEAR(*forecast->FinishTimeOf(3), 4.0, 1e-9);
+}
+
+TEST(AnalyticSimulatorTest, QueueAdmittedIntoFreedSlot) {
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  model.max_concurrent = 2;
+  auto forecast = AnalyticSimulator::Forecast(
+      {{1, 50.0, 1.0}, {2, 200.0, 1.0}}, {{3, 100.0, 1.0}}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  // Q1 finishes at 1.0 (50 at 50/s); Q3 starts then.
+  EXPECT_NEAR(*forecast->FinishTimeOf(1), 1.0, 1e-9);
+  // Q2: 50 done at t=1, then shares with Q3. Q2 has 150, Q3 100.
+  // Q3 finishes first at 1 + 100/50 = 3.0; Q2: 100 done in that span,
+  // 50 left alone -> 3.5.
+  EXPECT_NEAR(*forecast->FinishTimeOf(3), 3.0, 1e-9);
+  EXPECT_NEAR(*forecast->FinishTimeOf(2), 3.5, 1e-9);
+}
+
+TEST(AnalyticSimulatorTest, VirtualArrivalsSlowRealQueries) {
+  // Without virtual load: 400 U at 100 U/s -> 4 s. With a virtual
+  // 100 U query arriving every 2 s the real query must finish later.
+  AnalyticModelOptions base;
+  base.rate = 100.0;
+  auto without = AnalyticSimulator::Forecast({{1, 400.0, 1.0}}, {}, {}, base);
+  ASSERT_TRUE(without.ok());
+  AnalyticModelOptions with = base;
+  with.virtual_interval = 2.0;
+  with.virtual_cost = 100.0;
+  with.virtual_weight = 1.0;
+  auto withv = AnalyticSimulator::Forecast({{1, 400.0, 1.0}}, {}, {}, with);
+  ASSERT_TRUE(withv.ok());
+  EXPECT_NEAR(*without->FinishTimeOf(1), 4.0, 1e-9);
+  EXPECT_GT(*withv->FinishTimeOf(1), 4.5);
+}
+
+TEST(AnalyticSimulatorTest, VirtualArrivalExactTimeline) {
+  // Real query: 300 U, C=100. Virtual query (200 U) arrives at t=2.
+  // By t=2 real has 100 left; then both share at 50 U/s. Real finishes
+  // at t = 2 + 100/50 = 4.
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  model.virtual_interval = 2.0;
+  model.virtual_cost = 200.0;
+  // Second virtual arrival at t=4 doesn't affect the real query.
+  auto forecast = AnalyticSimulator::Forecast({{1, 300.0, 1.0}}, {}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(*forecast->FinishTimeOf(1), 4.0, 1e-9);
+}
+
+TEST(AnalyticSimulatorTest, OverloadHitsEventCap) {
+  // Virtual load strictly exceeds capacity: the real query's share
+  // decays but the event cap guarantees termination; the forecast is
+  // either finite (if it finished before the cap) or infinite.
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  model.virtual_interval = 0.5;
+  model.virtual_cost = 200.0;  // 400 U/s arriving vs 100 U/s capacity
+  model.max_events = 20000;
+  model.horizon = 1e5;
+  auto forecast =
+      AnalyticSimulator::Forecast({{1, 5000.0, 1.0}}, {}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  SUCCEED();
+}
+
+TEST(AnalyticSimulatorTest, EmptySystem) {
+  auto forecast = AnalyticSimulator::Forecast({}, {}, {}, {});
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_EQ(forecast->forecasts().size(), 0u);
+  EXPECT_DOUBLE_EQ(forecast->quiescent_time(), 0.0);
+}
+
+TEST(AnalyticSimulatorTest, IdleGapBeforeArrival) {
+  // Nothing running; a real arrival at t=3 of 100 U -> finishes at 4.
+  std::vector<FutureArrival> arrivals{{3.0, 100.0, 1.0, 7}};
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  auto forecast = AnalyticSimulator::Forecast({}, {}, arrivals, model);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(*forecast->FinishTimeOf(7), 4.0, 1e-9);
+}
+
+TEST(AnalyticSimulatorTest, InvalidInputs) {
+  AnalyticModelOptions bad_rate;
+  bad_rate.rate = 0.0;
+  EXPECT_FALSE(AnalyticSimulator::Forecast({}, {}, {}, bad_rate).ok());
+  AnalyticModelOptions model;
+  EXPECT_FALSE(
+      AnalyticSimulator::Forecast({{1, -5.0, 1.0}}, {}, {}, model).ok());
+  EXPECT_FALSE(
+      AnalyticSimulator::Forecast({}, {}, {{-1.0, 10.0, 1.0, 2}}, model)
+          .ok());
+}
+
+// ---- property: analytic simulator vs real scheduler with arrivals -----------------
+
+class ArrivalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ArrivalPropertyTest, MatchesSchedulerWithArrivalsAndQueue) {
+  Rng rng(5000 + static_cast<std::uint64_t>(GetParam()));
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.01;
+  options.max_concurrent = static_cast<int>(rng.UniformInt(1, 4));
+  options.cost_model.noise_sigma = 0.0;
+  sched::Rdbms db(&catalog, options);
+
+  std::vector<QueryLoad> running;
+  const int n0 = static_cast<int>(rng.UniformInt(1, 5));
+  std::vector<QueryId> all_ids;
+  for (int i = 0; i < n0; ++i) {
+    const double cost = rng.Uniform(20.0, 200.0);
+    auto id = db.Submit(engine::QuerySpec::Synthetic(cost));
+    ASSERT_TRUE(id.ok());
+    all_ids.push_back(*id);
+  }
+  // Initial submissions split into running + queued by the Rdbms itself.
+  std::vector<QueryLoad> queued;
+  for (const auto& info : db.RunningQueries()) {
+    running.push_back(QueryLoad{info.id, info.optimizer_cost, info.weight});
+  }
+  for (const auto& info : db.QueuedQueries()) {
+    queued.push_back(QueryLoad{info.id, info.optimizer_cost, info.weight});
+  }
+
+  // Future arrivals, known to the forecast.
+  std::vector<FutureArrival> arrivals;
+  const int na = static_cast<int>(rng.UniformInt(0, 4));
+  std::vector<std::pair<SimTime, double>> plan;
+  for (int i = 0; i < na; ++i) {
+    plan.emplace_back(rng.Uniform(0.05, 3.0), rng.Uniform(10.0, 150.0));
+  }
+  std::sort(plan.begin(), plan.end());
+  QueryId next_id = all_ids.back() + 1;
+  const double normal_weight =
+      options.weights.WeightOf(Priority::kNormal);
+  for (const auto& [t, cost] : plan) {
+    arrivals.push_back(FutureArrival{t, cost, normal_weight, next_id++});
+  }
+
+  AnalyticModelOptions model;
+  model.rate = options.processing_rate;
+  model.max_concurrent = options.max_concurrent;
+  auto forecast = AnalyticSimulator::Forecast(running, queued, arrivals, model);
+  ASSERT_TRUE(forecast.ok());
+
+  // Drive the real system, submitting arrivals on schedule.
+  std::size_t next_arrival = 0;
+  while (!db.Idle() || next_arrival < plan.size()) {
+    while (next_arrival < plan.size() &&
+           plan[next_arrival].first <= db.now() + 1e-9) {
+      auto id = db.Submit(
+          engine::QuerySpec::Synthetic(plan[next_arrival].second));
+      ASSERT_TRUE(id.ok());
+      all_ids.push_back(*id);
+      ++next_arrival;
+    }
+    db.Step(options.quantum);
+  }
+
+  for (QueryId id : all_ids) {
+    auto predicted = forecast->FinishTimeOf(id);
+    ASSERT_TRUE(predicted.ok()) << "query " << id;
+    const SimTime actual = db.info(id)->finish_time;
+    // Arrival times quantize to the step grid in the real system.
+    EXPECT_NEAR(actual, *predicted, 5.0 * options.quantum + 1e-6)
+        << "query " << id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomArrivalInstances, ArrivalPropertyTest,
+                         ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace mqpi::pi

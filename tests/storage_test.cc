@@ -1,0 +1,336 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_map>
+
+#include "storage/buffer_manager.h"
+#include "storage/catalog.h"
+#include "storage/index.h"
+#include "storage/table.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi::storage {
+namespace {
+
+Schema TwoColumnSchema() {
+  return Schema({{"key", ColumnType::kInt64}, {"value", ColumnType::kDouble}});
+}
+
+// ---- Schema -------------------------------------------------------------------
+
+TEST(SchemaTest, ColumnLookup) {
+  Schema schema = TwoColumnSchema();
+  ASSERT_EQ(schema.num_columns(), 2u);
+  EXPECT_EQ(*schema.ColumnIndex("key"), 0u);
+  EXPECT_EQ(*schema.ColumnIndex("value"), 1u);
+  EXPECT_TRUE(schema.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, RowWidthIncludesHeader) {
+  Schema schema = TwoColumnSchema();
+  EXPECT_EQ(schema.RowWidthBytes(), 24u + 8u + 8u);
+}
+
+TEST(SchemaTest, StringColumnsAreWider) {
+  Schema narrow({{"a", ColumnType::kInt64}});
+  Schema wide({{"a", ColumnType::kString}});
+  EXPECT_GT(wide.RowWidthBytes(), narrow.RowWidthBytes());
+}
+
+// ---- Table --------------------------------------------------------------------
+
+TEST(TableTest, AppendAndGet) {
+  Table table(1, "t", TwoColumnSchema());
+  ASSERT_TRUE(table.Append(Tuple({Value{std::int64_t{7}}, Value{1.5}})).ok());
+  EXPECT_EQ(table.num_tuples(), 1u);
+  EXPECT_EQ(AsInt(table.Get(0).at(0)), 7);
+  EXPECT_DOUBLE_EQ(AsDouble(table.Get(0).at(1)), 1.5);
+}
+
+TEST(TableTest, ArityMismatchRejected) {
+  Table table(1, "t", TwoColumnSchema());
+  EXPECT_TRUE(
+      table.Append(Tuple({Value{std::int64_t{7}}})).IsInvalidArgument());
+}
+
+TEST(TableTest, PageGeometry) {
+  Table table(1, "t", TwoColumnSchema());
+  const std::size_t tpp = table.tuples_per_page();
+  EXPECT_EQ(tpp, kPageBytes / (24 + 16));
+  EXPECT_EQ(table.num_pages(), 0u);
+  for (std::size_t i = 0; i < tpp; ++i) {
+    ASSERT_TRUE(table
+                    .Append(Tuple({Value{static_cast<std::int64_t>(i)},
+                                   Value{0.0}}))
+                    .ok());
+  }
+  EXPECT_EQ(table.num_pages(), 1u);
+  ASSERT_TRUE(table.Append(Tuple({Value{std::int64_t{0}}, Value{0.0}})).ok());
+  EXPECT_EQ(table.num_pages(), 2u);
+  EXPECT_EQ(table.PageOfRow(0), 0u);
+  EXPECT_EQ(table.PageOfRow(tpp), 1u);
+  EXPECT_EQ(table.FirstRowOnPage(1), tpp);
+  EXPECT_EQ(table.size_bytes(), 2 * kPageBytes);
+}
+
+// ---- Index --------------------------------------------------------------------
+
+class IndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(1, "t", TwoColumnSchema());
+    // Keys 0..99, three rows each, appended in interleaved order.
+    for (int rep = 0; rep < 3; ++rep) {
+      for (std::int64_t k = 0; k < 100; ++k) {
+        ASSERT_TRUE(
+            table_->Append(Tuple({Value{k}, Value{static_cast<double>(rep)}}))
+                .ok());
+      }
+    }
+    auto built = Index::Build(2, "idx", *table_, "key");
+    ASSERT_TRUE(built.ok()) << built.status().ToString();
+    index_ = std::make_unique<Index>(std::move(built).value());
+  }
+
+  std::unique_ptr<Table> table_;
+  std::unique_ptr<Index> index_;
+};
+
+TEST_F(IndexTest, LookupFindsAllMatches) {
+  auto matches = index_->Lookup(42);
+  ASSERT_EQ(matches.size(), 3u);
+  for (const auto& entry : matches) {
+    EXPECT_EQ(AsInt(table_->Get(entry.row).at(0)), 42);
+  }
+}
+
+TEST_F(IndexTest, LookupMissingKeyEmpty) {
+  EXPECT_TRUE(index_->Lookup(1000).empty());
+  EXPECT_TRUE(index_->Lookup(-5).empty());
+}
+
+TEST_F(IndexTest, EntriesSortedAndComplete) {
+  EXPECT_EQ(index_->num_entries(), 300u);
+  EXPECT_EQ(index_->num_distinct_keys(), 100u);
+  EXPECT_EQ(index_->min_key(), 0);
+  EXPECT_EQ(index_->max_key(), 99);
+}
+
+TEST_F(IndexTest, PageAccounting) {
+  EXPECT_GE(index_->height(), 1u);
+  EXPECT_GE(index_->num_pages(), 1u);
+  EXPECT_EQ(index_->LeafPagesForMatches(0), 1u);
+  EXPECT_EQ(index_->LeafPagesForMatches(1), 1u);
+  EXPECT_EQ(index_->LeafPagesForMatches(index_->leaf_fanout()), 1u);
+  EXPECT_EQ(index_->LeafPagesForMatches(index_->leaf_fanout() + 1), 2u);
+}
+
+TEST(IndexBuildTest, RejectsNonInt64Column) {
+  Table table(1, "t", TwoColumnSchema());
+  EXPECT_TRUE(Index::Build(2, "idx", table, "value").status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(Index::Build(2, "idx", table, "missing").status().IsNotFound());
+}
+
+TEST(IndexBuildTest, EmptyTable) {
+  Table table(1, "t", TwoColumnSchema());
+  auto built = Index::Build(2, "idx", table, "key");
+  ASSERT_TRUE(built.ok());
+  EXPECT_EQ(built->num_entries(), 0u);
+  EXPECT_EQ(built->height(), 1u);
+  EXPECT_TRUE(built->Lookup(1).empty());
+}
+
+// ---- BufferManager -------------------------------------------------------------
+
+TEST(BufferManagerTest, ChargesPerAccess) {
+  BufferManager manager({.capacity_pages = 4});
+  EXPECT_DOUBLE_EQ(manager.Access(PageId{1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(manager.Access(PageId{1, 0}), 1.0);
+  EXPECT_EQ(manager.stats().misses, 1u);
+  EXPECT_EQ(manager.stats().hits, 1u);
+}
+
+TEST(BufferManagerTest, LruEviction) {
+  BufferManager manager({.capacity_pages = 2});
+  manager.Access(PageId{1, 0});
+  manager.Access(PageId{1, 1});
+  manager.Access(PageId{1, 0});  // 0 becomes MRU
+  manager.Access(PageId{1, 2});  // evicts 1
+  manager.Access(PageId{1, 0});  // hit
+  manager.Access(PageId{1, 1});  // miss (was evicted)
+  EXPECT_EQ(manager.stats().hits, 2u);
+  EXPECT_EQ(manager.stats().misses, 4u);
+  EXPECT_EQ(manager.resident_pages(), 2u);
+}
+
+TEST(BufferManagerTest, MissSurcharge) {
+  BufferManager manager({.capacity_pages = 4,
+                         .cost_per_hit = 1.0,
+                         .cost_per_miss = 3.0});
+  EXPECT_DOUBLE_EQ(manager.Access(PageId{1, 0}), 3.0);
+  EXPECT_DOUBLE_EQ(manager.Access(PageId{1, 0}), 1.0);
+}
+
+TEST(BufferManagerTest, ResetClearsEverything) {
+  BufferManager manager({.capacity_pages = 4});
+  manager.Access(PageId{1, 0});
+  manager.Reset();
+  EXPECT_EQ(manager.stats().hits + manager.stats().misses, 0u);
+  EXPECT_EQ(manager.resident_pages(), 0u);
+}
+
+TEST(BufferAccountTest, AccumulatesCharges) {
+  BufferManager manager({.capacity_pages = 4});
+  BufferAccount account(&manager);
+  account.Touch(PageId{1, 0});
+  account.Touch(PageId{1, 1});
+  account.Charge(0.5);
+  EXPECT_DOUBLE_EQ(account.charged(), 2.5);
+}
+
+TEST(BufferAccountTest, AccountsShareThePool) {
+  BufferManager manager({.capacity_pages = 4});
+  BufferAccount a(&manager), b(&manager);
+  a.Touch(PageId{1, 0});
+  b.Touch(PageId{1, 0});  // hit: page cached by account a
+  EXPECT_EQ(manager.stats().hits, 1u);
+}
+
+// ---- Catalog -------------------------------------------------------------------
+
+TEST(CatalogTest, CreateAndGetTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColumnSchema()).ok());
+  EXPECT_TRUE(catalog.GetTable("t").ok());
+  EXPECT_TRUE(catalog.GetTable("nope").status().IsNotFound());
+  EXPECT_EQ(catalog.CreateTable("t", TwoColumnSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, IndexLifecycle) {
+  Catalog catalog;
+  auto table = catalog.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  for (std::int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE((*table)->Append(Tuple({Value{k}, Value{0.0}})).ok());
+  }
+  ASSERT_TRUE(catalog.CreateIndex("idx", "t", "key").ok());
+  auto index = catalog.GetIndex("idx");
+  ASSERT_TRUE(index.ok());
+  EXPECT_EQ((*index)->num_entries(), 10u);
+  auto on_table = catalog.IndexOnTable((*table)->id());
+  ASSERT_TRUE(on_table.ok());
+  EXPECT_EQ((*on_table)->name(), "idx");
+  EXPECT_TRUE(catalog.CreateIndex("idx", "t", "key").status().code() ==
+              StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, AnalyzeComputesStats) {
+  Catalog catalog;
+  auto table = catalog.CreateTable("t", TwoColumnSchema());
+  ASSERT_TRUE(table.ok());
+  for (std::int64_t k = 0; k < 30; ++k) {
+    ASSERT_TRUE((*table)->Append(Tuple({Value{k % 10}, Value{0.0}})).ok());
+  }
+  ASSERT_TRUE(catalog.CreateIndex("idx", "t", "key").ok());
+  ASSERT_TRUE(catalog.Analyze("t").ok());
+  auto stats = catalog.GetStats("t");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_tuples, 30u);
+  EXPECT_EQ(stats->num_distinct_keys, 10u);
+  EXPECT_DOUBLE_EQ(stats->avg_matches_per_key, 3.0);
+  EXPECT_EQ(stats->min_key, 0);
+  EXPECT_EQ(stats->max_key, 9);
+}
+
+TEST(CatalogTest, StatsRequireAnalyze) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable("t", TwoColumnSchema()).ok());
+  EXPECT_TRUE(catalog.GetStats("t").status().IsNotFound());
+}
+
+// ---- TpcrGenerator --------------------------------------------------------------
+
+class TpcrGeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    generator_ = std::make_unique<TpcrGenerator>(
+        TpcrConfig{.num_part_keys = 200, .matches_per_key = 10, .seed = 5});
+    ASSERT_TRUE(generator_->BuildLineitem(&catalog_).ok());
+  }
+  Catalog catalog_;
+  std::unique_ptr<TpcrGenerator> generator_;
+};
+
+TEST_F(TpcrGeneratorTest, LineitemShape) {
+  auto table = catalog_.GetTable("lineitem");
+  ASSERT_TRUE(table.ok());
+  // ~10 matches per key on average, 200 keys.
+  EXPECT_NEAR(static_cast<double>((*table)->num_tuples()), 2000.0, 400.0);
+  auto stats = catalog_.GetStats("lineitem");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_distinct_keys, 200u);
+  EXPECT_NEAR(stats->avg_matches_per_key, 10.0, 2.0);
+}
+
+TEST_F(TpcrGeneratorTest, PartTableHasDistinctKeysInRange) {
+  ASSERT_TRUE(generator_->BuildPartTable(&catalog_, "part_1", 15).ok());
+  auto part = catalog_.GetTable("part_1");
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ((*part)->num_tuples(), 150u);  // 10 * N_i
+  std::set<std::int64_t> keys;
+  for (RowId r = 0; r < (*part)->num_tuples(); ++r) {
+    const std::int64_t k = AsInt((*part)->Get(r).at(0));
+    EXPECT_GE(k, 1);
+    EXPECT_LE(k, 200);
+    keys.insert(k);
+  }
+  EXPECT_EQ(keys.size(), 150u);  // all distinct
+}
+
+TEST_F(TpcrGeneratorTest, PartTableTooLargeRejected) {
+  EXPECT_TRUE(generator_->BuildPartTable(&catalog_, "part_big", 21)
+                  .IsInvalidArgument());  // 210 > 200 keys
+}
+
+TEST_F(TpcrGeneratorTest, MatchesScatterAcrossPages) {
+  // The lineitem rows for one key should not be clustered: expect the
+  // distinct pages of a key's matches to be close to the match count.
+  auto table = catalog_.GetTable("lineitem");
+  auto index = catalog_.GetIndex("lineitem_partkey_idx");
+  ASSERT_TRUE(index.ok());
+  if ((*table)->num_pages() < 5) GTEST_SKIP() << "table too small";
+  double total_matches = 0.0, total_pages = 0.0;
+  for (std::int64_t key = 1; key <= 50; ++key) {
+    auto matches = (*index)->Lookup(key);
+    std::set<std::uint64_t> pages;
+    for (const auto& entry : matches) {
+      pages.insert((*table)->PageOfRow(entry.row));
+    }
+    total_matches += static_cast<double>(matches.size());
+    total_pages += static_cast<double>(pages.size());
+  }
+  EXPECT_GT(total_pages, 0.5 * total_matches);
+}
+
+TEST(TpcrGeneratorDeterminismTest, SameSeedSameData) {
+  Catalog c1, c2;
+  TpcrGenerator g1({.num_part_keys = 100, .matches_per_key = 5, .seed = 9});
+  TpcrGenerator g2({.num_part_keys = 100, .matches_per_key = 5, .seed = 9});
+  ASSERT_TRUE(g1.BuildLineitem(&c1).ok());
+  ASSERT_TRUE(g2.BuildLineitem(&c2).ok());
+  auto t1 = c1.GetTable("lineitem");
+  auto t2 = c2.GetTable("lineitem");
+  ASSERT_EQ((*t1)->num_tuples(), (*t2)->num_tuples());
+  for (RowId r = 0; r < (*t1)->num_tuples(); r += 37) {
+    EXPECT_EQ(AsInt((*t1)->Get(r).at(1)), AsInt((*t2)->Get(r).at(1)));
+  }
+}
+
+TEST(TpcrGeneratorNamingTest, PartTableName) {
+  EXPECT_EQ(TpcrGenerator::PartTableName(3), "part_3");
+}
+
+}  // namespace
+}  // namespace mqpi::storage

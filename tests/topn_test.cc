@@ -1,0 +1,196 @@
+// Tests for the TopN (ORDER BY ... LIMIT) query class.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "engine/planner.h"
+#include "engine/sql_parser.h"
+#include "storage/catalog.h"
+#include "storage/tpcr_gen.h"
+
+namespace mqpi::engine {
+namespace {
+
+using storage::AsDouble;
+using storage::Catalog;
+using storage::Tuple;
+
+class TopNTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    storage::TpcrGenerator generator(
+        {.num_part_keys = 250, .matches_per_key = 6, .seed = 41});
+    ASSERT_TRUE(generator.BuildLineitem(&catalog_).ok());
+    ASSERT_TRUE(catalog_.AnalyzeAll().ok());
+    lineitem_ = *catalog_.GetTable("lineitem");
+  }
+
+  /// Runs the operator tree of a TopN spec and collects sort-key values.
+  std::vector<double> CollectKeys(const QuerySpec& spec, WorkUnits budget) {
+    auto order_col = Col(lineitem_->schema(), spec.order_column);
+    EXPECT_TRUE(order_col.ok());
+    OperatorPtr input = std::make_unique<SeqScanOperator>(lineitem_);
+    if (spec.has_filter) {
+      auto col = Col(lineitem_->schema(), spec.filter_column);
+      input = std::make_unique<FilterOperator>(
+          std::move(input),
+          Bin(BinaryOp::kGt, std::move(*col), Const(spec.filter_threshold)));
+    }
+    TopNOperator op(std::move(input), std::move(*order_col),
+                    spec.descending, spec.limit);
+    storage::BufferManager pool;
+    storage::BufferAccount account(&pool);
+    ExecContext ctx;
+    ctx.account = &account;
+    std::vector<double> keys;
+    auto key_col = *lineitem_->schema().ColumnIndex(spec.order_column);
+    Tuple row;
+    while (true) {
+      ctx.yield_at = account.charged() + budget;
+      auto step = op.Next(&ctx, &row);
+      EXPECT_TRUE(step.ok());
+      if (!step.ok() || *step == OpResult::kDone) break;
+      if (*step == OpResult::kRow) {
+        keys.push_back(AsDouble(row.at(key_col)));
+      }
+    }
+    return keys;
+  }
+
+  /// Brute-force expected keys.
+  std::vector<double> Expected(const QuerySpec& spec) {
+    std::vector<double> keys;
+    auto key_col = *lineitem_->schema().ColumnIndex(spec.order_column);
+    for (storage::RowId r = 0; r < lineitem_->num_tuples(); ++r) {
+      const Tuple& row = lineitem_->Get(r);
+      if (spec.has_filter) {
+        auto filter_col =
+            *lineitem_->schema().ColumnIndex(spec.filter_column);
+        if (!(AsDouble(row.at(filter_col)) > spec.filter_threshold)) {
+          continue;
+        }
+      }
+      keys.push_back(AsDouble(row.at(key_col)));
+    }
+    if (spec.descending) {
+      std::sort(keys.rbegin(), keys.rend());
+    } else {
+      std::sort(keys.begin(), keys.end());
+    }
+    if (keys.size() > spec.limit) keys.resize(spec.limit);
+    return keys;
+  }
+
+  Catalog catalog_;
+  const storage::Table* lineitem_ = nullptr;
+};
+
+TEST_F(TopNTest, DescendingMatchesBruteForce) {
+  auto spec = QuerySpec::TopN("lineitem", "extendedprice", true, 25);
+  EXPECT_EQ(CollectKeys(spec, 1e18), Expected(spec));
+}
+
+TEST_F(TopNTest, AscendingMatchesBruteForce) {
+  auto spec = QuerySpec::TopN("lineitem", "extendedprice", false, 10);
+  EXPECT_EQ(CollectKeys(spec, 1e18), Expected(spec));
+}
+
+TEST_F(TopNTest, FilteredTopN) {
+  auto spec = QuerySpec::TopN("lineitem", "extendedprice", true, 15)
+                  .WithFilter("quantity", 45.0);
+  EXPECT_EQ(CollectKeys(spec, 1e18), Expected(spec));
+}
+
+TEST_F(TopNTest, BudgetedExecutionSameResult) {
+  auto spec = QuerySpec::TopN("lineitem", "quantity", true, 40);
+  EXPECT_EQ(CollectKeys(spec, 1e18), CollectKeys(spec, 1.5));
+}
+
+TEST_F(TopNTest, LimitLargerThanInput) {
+  auto spec = QuerySpec::TopN("lineitem", "quantity", false, 1u << 20);
+  const auto keys = CollectKeys(spec, 1e18);
+  EXPECT_EQ(keys.size(), lineitem_->num_tuples());
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(TopNTest, ThroughPlanner) {
+  storage::BufferManager pool;
+  Planner planner(&catalog_, &pool, {.noise_sigma = 0.0});
+  auto spec = QuerySpec::TopN("lineitem", "extendedprice", true, 5);
+  auto prepared = planner.Prepare(spec);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  EXPECT_NE(prepared->plan_text.find("TopN"), std::string::npos);
+  EXPECT_DOUBLE_EQ(prepared->estimated_result_rows, 5.0);
+  while (!prepared->execution->done()) prepared->execution->Advance(30.0);
+  ASSERT_TRUE(prepared->execution->status().ok());
+  EXPECT_EQ(prepared->execution->rows_produced(), 5u);
+  // Cost: roughly the scan pages plus hashing CPU.
+  EXPECT_GT(prepared->execution->completed_work(),
+            static_cast<double>(lineitem_->num_pages()) - 1.0);
+}
+
+TEST_F(TopNTest, UnknownColumnsFail) {
+  storage::BufferManager pool;
+  Planner planner(&catalog_, &pool);
+  EXPECT_TRUE(planner.Prepare(QuerySpec::TopN("lineitem", "nope", true, 5))
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(planner.Prepare(QuerySpec::TopN("nope", "quantity", true, 5))
+                  .status()
+                  .IsNotFound());
+}
+
+// ---- parsing ------------------------------------------------------------------
+
+TEST(TopNParseTest, OrderByDescLimit) {
+  auto spec = ParseSql(
+      "select * from lineitem order by extendedprice desc limit 10");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kTopN);
+  EXPECT_EQ(spec->order_column, "extendedprice");
+  EXPECT_TRUE(spec->descending);
+  EXPECT_EQ(spec->limit, 10u);
+  EXPECT_FALSE(spec->has_filter);
+}
+
+TEST(TopNParseTest, AscendingWithAliasAndFilter) {
+  auto spec = ParseSql(
+      "select * from lineitem l where l.quantity > 30 "
+      "order by l.extendedprice asc limit 7");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kTopN);
+  EXPECT_FALSE(spec->descending);
+  EXPECT_EQ(spec->limit, 7u);
+  ASSERT_TRUE(spec->has_filter);
+  EXPECT_EQ(spec->filter_column, "quantity");
+}
+
+TEST(TopNParseTest, DefaultIsAscending) {
+  auto spec =
+      ParseSql("select * from lineitem order by quantity limit 3");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->descending);
+}
+
+TEST(TopNParseTest, TemplateStillParses) {
+  // The TopN grammar must not break the correlated-template path.
+  auto spec = ParseSql(
+      "select * from part_2 p where p.retailprice * 0.75 > "
+      "(select sum(l.extendedprice) / sum(l.quantity) from lineitem l "
+      "where l.partkey = p.partkey)");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->kind, QuerySpec::Kind::kTpcrPartPrice);
+}
+
+TEST(TopNParseTest, BadLimits) {
+  EXPECT_FALSE(
+      ParseSql("select * from t order by x limit 0").ok());
+  EXPECT_FALSE(
+      ParseSql("select * from t order by x limit 2.5").ok());
+  EXPECT_FALSE(ParseSql("select * from t order by x").ok());
+}
+
+}  // namespace
+}  // namespace mqpi::engine

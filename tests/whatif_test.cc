@@ -1,0 +1,138 @@
+// Tests for the what-if forecaster and the EXPLAIN facility.
+
+#include <gtest/gtest.h>
+
+#include "engine/planner.h"
+#include "pi/multi_query_pi.h"
+#include "sched/rdbms.h"
+#include "storage/catalog.h"
+#include "storage/tpcr_gen.h"
+#include "wlm/speedup.h"
+
+namespace mqpi {
+namespace {
+
+using engine::QuerySpec;
+
+class WhatIfTest : public ::testing::Test {
+ protected:
+  WhatIfTest() {
+    options_.processing_rate = 100.0;
+    options_.quantum = 0.05;
+    options_.cost_model.noise_sigma = 0.0;
+    options_.weights = PriorityWeights(1.0, 2.0, 4.0, 8.0);
+    db_ = std::make_unique<sched::Rdbms>(&catalog_, options_);
+  }
+  storage::Catalog catalog_;
+  sched::RdbmsOptions options_;
+  std::unique_ptr<sched::Rdbms> db_;
+};
+
+TEST_F(WhatIfTest, BlockingScenarioMatchesSpeedupMath) {
+  auto a = db_->Submit(QuerySpec::Synthetic(300.0));
+  auto b = db_->Submit(QuerySpec::Synthetic(400.0));
+  auto c = db_->Submit(QuerySpec::Synthetic(500.0));
+  ASSERT_TRUE(c.ok());
+  pi::MultiQueryPi pi(db_.get());
+
+  auto baseline = pi.EstimateRemainingTime(*a);
+  ASSERT_TRUE(baseline.ok());
+
+  pi::MultiQueryPi::WhatIf scenario;
+  scenario.blocked.push_back(*c);
+  auto what_if = pi.ForecastWhatIf(scenario);
+  ASSERT_TRUE(what_if.ok());
+  auto hypothetical = what_if->FinishTimeOf(*a);
+  ASSERT_TRUE(hypothetical.ok());
+
+  // Cross-check with the Section 3.1 exact benefit.
+  std::vector<pi::QueryLoad> loads;
+  for (const auto& info : db_->RunningQueries()) {
+    loads.push_back(
+        pi::QueryLoad{info.id, info.estimated_remaining_cost, info.weight});
+  }
+  auto benefit = wlm::SingleQuerySpeedup::ExactBenefit(
+      loads, *a, *c, options_.processing_rate);
+  ASSERT_TRUE(benefit.ok());
+  EXPECT_NEAR(*baseline - *hypothetical, *benefit, 1e-9);
+  // Blocked queries vanish from the what-if forecast.
+  EXPECT_TRUE(what_if->FinishTimeOf(*c).status().IsNotFound());
+}
+
+TEST_F(WhatIfTest, ReweightScenarioMatchesPriorityMath) {
+  auto a = db_->Submit(QuerySpec::Synthetic(300.0));
+  auto b = db_->Submit(QuerySpec::Synthetic(300.0));
+  ASSERT_TRUE(b.ok());
+  pi::MultiQueryPi pi(db_.get());
+
+  pi::MultiQueryPi::WhatIf scenario;
+  scenario.reweighted.emplace_back(*a, 8.0);
+  auto what_if = pi.ForecastWhatIf(scenario);
+  ASSERT_TRUE(what_if.ok());
+
+  std::vector<pi::QueryLoad> loads;
+  for (const auto& info : db_->RunningQueries()) {
+    loads.push_back(
+        pi::QueryLoad{info.id, info.estimated_remaining_cost, info.weight});
+  }
+  auto advice = wlm::SingleQuerySpeedup::EvaluateWeightChange(
+      loads, *a, 8.0, options_.processing_rate);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_NEAR(*what_if->FinishTimeOf(*a), advice->new_remaining, 1e-9);
+}
+
+TEST_F(WhatIfTest, AbortScenarioShortensQuiescentTime) {
+  auto a = db_->Submit(QuerySpec::Synthetic(400.0));
+  auto b = db_->Submit(QuerySpec::Synthetic(600.0));
+  ASSERT_TRUE(b.ok());
+  pi::MultiQueryPi pi(db_.get());
+  auto baseline = pi.ForecastAll();
+  ASSERT_TRUE(baseline.ok());
+  pi::MultiQueryPi::WhatIf scenario;
+  scenario.aborted.push_back(*b);
+  auto what_if = pi.ForecastWhatIf(scenario);
+  ASSERT_TRUE(what_if.ok());
+  EXPECT_NEAR(baseline->quiescent_time(), 10.0, 1e-9);
+  EXPECT_NEAR(what_if->quiescent_time(), 4.0, 1e-9);
+  (void)a;
+}
+
+TEST_F(WhatIfTest, EmptyScenarioEqualsForecastAll) {
+  auto a = db_->Submit(QuerySpec::Synthetic(123.0));
+  ASSERT_TRUE(a.ok());
+  pi::MultiQueryPi pi(db_.get());
+  auto all = pi.ForecastAll();
+  auto what_if = pi.ForecastWhatIf({});
+  ASSERT_TRUE(all.ok());
+  ASSERT_TRUE(what_if.ok());
+  EXPECT_DOUBLE_EQ(*all->FinishTimeOf(*a), *what_if->FinishTimeOf(*a));
+}
+
+// ---- Explain ------------------------------------------------------------------
+
+TEST(ExplainTest, ReportsPlanAndEstimates) {
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 200, .matches_per_key = 5, .seed = 8});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  ASSERT_TRUE(generator.BuildPartTable(&catalog, "part_1", 6).ok());
+  storage::BufferManager buffers;
+  engine::Planner planner(&catalog, &buffers, {.noise_sigma = 0.0});
+
+  auto report = planner.Explain(QuerySpec::TpcrPartPrice("part_1"));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("CorrelatedSubqueryFilter"), std::string::npos);
+  EXPECT_NE(report->find("Cost:"), std::string::npos);
+  EXPECT_NE(report->find("Rows out:"), std::string::npos);
+
+  auto join = planner.Explain(
+      QuerySpec::JoinAggregate("part_1", engine::AggFunc::kCount, ""));
+  ASSERT_TRUE(join.ok());
+  EXPECT_NE(join->find("HashJoin"), std::string::npos);
+
+  EXPECT_TRUE(planner.Explain(QuerySpec::TpcrPartPrice("nope")).status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace mqpi

@@ -1,0 +1,204 @@
+// Tests for the workload-management extensions: priority-raise advice
+// (Section 3.1's "natural choice") and the scheduler properties the
+// Section 2.1 assumptions rest on (work conservation, weighted
+// fairness) after the serve-loop scheduler design.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "sched/rdbms.h"
+#include "storage/catalog.h"
+#include "wlm/speedup.h"
+#include "storage/tpcr_gen.h"
+#include "wlm/wlm_advisor.h"
+
+namespace mqpi::wlm {
+namespace {
+
+using engine::QuerySpec;
+using pi::QueryLoad;
+
+// ---- EvaluateWeightChange ------------------------------------------------------
+
+TEST(PriorityRaiseTest, RaisingWeightShortensTarget) {
+  std::vector<QueryLoad> loads{
+      {1, 300.0, 1.0}, {2, 300.0, 1.0}, {3, 300.0, 1.0}};
+  auto advice =
+      SingleQuerySpeedup::EvaluateWeightChange(loads, 1, 4.0, 100.0);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_GT(advice->time_saved, 0.0);
+  EXPECT_LT(advice->new_remaining, advice->current_remaining);
+  // Exact: with weights {4,1,1} and equal 300 U costs, target runs at
+  // 4/6 of C until it finishes: 300 / (100 * 4/6) = 4.5 s.
+  EXPECT_NEAR(advice->new_remaining, 4.5, 1e-9);
+  EXPECT_NEAR(advice->current_remaining, 9.0, 1e-9);  // last of 3 equals
+}
+
+TEST(PriorityRaiseTest, SameWeightSavesNothing) {
+  std::vector<QueryLoad> loads{{1, 100.0, 2.0}, {2, 500.0, 2.0}};
+  auto advice =
+      SingleQuerySpeedup::EvaluateWeightChange(loads, 1, 2.0, 100.0);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_NEAR(advice->time_saved, 0.0, 1e-12);
+}
+
+TEST(PriorityRaiseTest, LoweringWeightCostsTime) {
+  std::vector<QueryLoad> loads{{1, 300.0, 4.0}, {2, 300.0, 1.0}};
+  auto advice =
+      SingleQuerySpeedup::EvaluateWeightChange(loads, 1, 1.0, 100.0);
+  ASSERT_TRUE(advice.ok());
+  EXPECT_LT(advice->time_saved, 0.0);
+}
+
+TEST(PriorityRaiseTest, InvalidArguments) {
+  std::vector<QueryLoad> loads{{1, 100.0, 1.0}};
+  EXPECT_FALSE(
+      SingleQuerySpeedup::EvaluateWeightChange(loads, 1, 0.0, 100.0).ok());
+  EXPECT_TRUE(SingleQuerySpeedup::EvaluateWeightChange(loads, 9, 2.0, 100.0)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(PriorityRaiseTest, MatchesLiveExecution) {
+  // The predicted remaining time after a raise must match the actual
+  // finish time on the scheduler.
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.01;
+  options.cost_model.noise_sigma = 0.0;
+  options.weights = PriorityWeights(1.0, 1.0, 4.0, 8.0);
+  sched::Rdbms db(&catalog, options);
+  auto target = db.Submit(QuerySpec::Synthetic(300.0));
+  auto other1 = db.Submit(QuerySpec::Synthetic(300.0));
+  auto other2 = db.Submit(QuerySpec::Synthetic(300.0));
+  ASSERT_TRUE(other2.ok());
+  (void)other1;
+  WlmAdvisor advisor(&db);
+  auto advice = advisor.SpeedUpByPriority(*target, Priority::kHigh);
+  ASSERT_TRUE(advice.ok()) << advice.status().ToString();
+  EXPECT_EQ(db.info(*target)->priority, Priority::kHigh);
+  db.RunUntilIdle();
+  EXPECT_NEAR(db.info(*target)->finish_time, advice->new_remaining, 0.15);
+}
+
+TEST(PriorityRaiseTest, RejectsNonRunningTarget) {
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.max_concurrent = 1;
+  sched::Rdbms db(&catalog, options);
+  auto a = db.Submit(QuerySpec::Synthetic(100.0));
+  auto b = db.Submit(QuerySpec::Synthetic(100.0));  // queued
+  ASSERT_TRUE(a.ok());
+  WlmAdvisor advisor(&db);
+  EXPECT_EQ(advisor.SpeedUpByPriority(*b, Priority::kHigh).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---- scheduler conservation / fairness properties --------------------------------
+
+class SchedulerPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulerPropertyTest, WorkConservationWithSyntheticQueries) {
+  // Total completion time equals total work / C to quantum precision,
+  // whatever the mix (Assumption 1 realized by the serve loop).
+  Rng rng(42000 + static_cast<std::uint64_t>(GetParam()));
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = rng.Uniform(50.0, 400.0);
+  options.quantum = 0.05;
+  options.cost_model.noise_sigma = 0.0;
+  sched::Rdbms db(&catalog, options);
+  double total = 0.0;
+  const int n = static_cast<int>(rng.UniformInt(1, 15));
+  for (int i = 0; i < n; ++i) {
+    const double cost = rng.Uniform(10.0, 800.0);
+    total += cost;
+    const auto pri = static_cast<Priority>(rng.UniformInt(0, 3));
+    ASSERT_TRUE(db.Submit(QuerySpec::Synthetic(cost), pri).ok());
+  }
+  db.RunUntilIdle();
+  EXPECT_NEAR(db.now(), total / options.processing_rate,
+              2.0 * options.quantum + 1e-9);
+}
+
+TEST_P(SchedulerPropertyTest, LongRunSharesProportionalToWeights) {
+  // Over a long window with everyone backlogged, per-query consumption
+  // ratios approach the weight ratios (Assumption 3).
+  Rng rng(43000 + static_cast<std::uint64_t>(GetParam()));
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.1;
+  options.cost_model.noise_sigma = 0.0;
+  options.weights = PriorityWeights(1.0, 2.0, 4.0, 8.0);
+  sched::Rdbms db(&catalog, options);
+  const Priority priorities[] = {Priority::kLow, Priority::kNormal,
+                                 Priority::kHigh, Priority::kCritical};
+  std::vector<QueryId> ids;
+  for (Priority p : priorities) {
+    ids.push_back(*db.Submit(QuerySpec::Synthetic(1e9), p));
+  }
+  db.Step(200.0);
+  const double base = db.info(ids[0])->completed_work;
+  ASSERT_GT(base, 0.0);
+  EXPECT_NEAR(db.info(ids[1])->completed_work / base, 2.0, 0.05);
+  EXPECT_NEAR(db.info(ids[2])->completed_work / base, 4.0, 0.05);
+  EXPECT_NEAR(db.info(ids[3])->completed_work / base, 8.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SchedulerPropertyTest,
+                         ::testing::Range(0, 6));
+
+TEST(SchedulerConservationTest, RealQueriesDeliverAggregateRate) {
+  // With real TPC-R queries (lumpy 33-U probes), the aggregate delivery
+  // over the whole run must still match C within a small tolerance —
+  // the property the Figure 11 experiment depends on.
+  storage::Catalog catalog;
+  storage::TpcrGenerator generator(
+      {.num_part_keys = 800, .matches_per_key = 10, .seed = 61});
+  ASSERT_TRUE(generator.BuildLineitem(&catalog).ok());
+  for (int n : {10, 20, 30}) {
+    ASSERT_TRUE(generator
+                    .BuildPartTable(&catalog, "part_c" + std::to_string(n), n)
+                    .ok());
+  }
+  sched::RdbmsOptions options;
+  options.processing_rate = 80.0;
+  options.quantum = 0.5;
+  options.cost_model.noise_sigma = 0.0;
+  sched::Rdbms db(&catalog, options);
+  std::vector<QueryId> ids;
+  for (const char* table : {"part_c10", "part_c20", "part_c30",
+                            "part_c10", "part_c20"}) {
+    ids.push_back(*db.Submit(engine::QuerySpec::TpcrPartPrice(table)));
+  }
+  db.RunUntilIdle();
+  double total = 0.0;
+  for (QueryId id : ids) total += db.info(id)->completed_work;
+  const double expected_span = total / options.processing_rate;
+  EXPECT_NEAR(db.now(), expected_span, 0.05 * expected_span + 1.0);
+}
+
+TEST(SchedulerConservationTest, BlockedQueriesFreeTheirShare) {
+  // Blocking must hand the victim's share to the survivors at once.
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.05;
+  options.cost_model.noise_sigma = 0.0;
+  sched::Rdbms db(&catalog, options);
+  auto a = db.Submit(QuerySpec::Synthetic(1e9));
+  auto b = db.Submit(QuerySpec::Synthetic(1e9));
+  db.Step(10.0);
+  const double before = db.info(*a)->completed_work;
+  ASSERT_TRUE(db.Block(*b).ok());
+  db.Step(10.0);
+  const double delta = db.info(*a)->completed_work - before;
+  EXPECT_NEAR(delta, 1000.0, 10.0);  // full rate for 10 s
+}
+
+}  // namespace
+}  // namespace mqpi::wlm
