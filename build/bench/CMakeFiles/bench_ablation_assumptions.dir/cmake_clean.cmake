@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_assumptions.dir/bench_ablation_assumptions.cc.o"
+  "CMakeFiles/bench_ablation_assumptions.dir/bench_ablation_assumptions.cc.o.d"
+  "bench_ablation_assumptions"
+  "bench_ablation_assumptions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assumptions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

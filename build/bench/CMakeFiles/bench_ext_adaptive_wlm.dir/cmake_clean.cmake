@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_adaptive_wlm.dir/bench_ext_adaptive_wlm.cc.o"
+  "CMakeFiles/bench_ext_adaptive_wlm.dir/bench_ext_adaptive_wlm.cc.o.d"
+  "bench_ext_adaptive_wlm"
+  "bench_ext_adaptive_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_adaptive_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

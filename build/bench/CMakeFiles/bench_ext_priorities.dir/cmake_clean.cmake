@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_priorities.dir/bench_ext_priorities.cc.o"
+  "CMakeFiles/bench_ext_priorities.dir/bench_ext_priorities.cc.o.d"
+  "bench_ext_priorities"
+  "bench_ext_priorities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_priorities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_priority.dir/bench_ext_priority.cc.o"
+  "CMakeFiles/bench_ext_priority.dir/bench_ext_priority.cc.o.d"
+  "bench_ext_priority"
+  "bench_ext_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

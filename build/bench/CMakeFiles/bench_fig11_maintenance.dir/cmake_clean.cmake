@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_maintenance.dir/bench_fig11_maintenance.cc.o"
+  "CMakeFiles/bench_fig11_maintenance.dir/bench_fig11_maintenance.cc.o.d"
+  "bench_fig11_maintenance"
+  "bench_fig11_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_mcq.dir/bench_fig3_4_mcq.cc.o"
+  "CMakeFiles/bench_fig3_4_mcq.dir/bench_fig3_4_mcq.cc.o.d"
+  "bench_fig3_4_mcq"
+  "bench_fig3_4_mcq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_mcq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

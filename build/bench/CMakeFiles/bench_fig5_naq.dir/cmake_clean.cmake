@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_naq.dir/bench_fig5_naq.cc.o"
+  "CMakeFiles/bench_fig5_naq.dir/bench_fig5_naq.cc.o.d"
+  "bench_fig5_naq"
+  "bench_fig5_naq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_naq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

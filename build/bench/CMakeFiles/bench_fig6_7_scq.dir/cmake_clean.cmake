@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_7_scq.dir/bench_fig6_7_scq.cc.o"
+  "CMakeFiles/bench_fig6_7_scq.dir/bench_fig6_7_scq.cc.o.d"
+  "bench_fig6_7_scq"
+  "bench_fig6_7_scq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_7_scq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_9_lambda_err.dir/bench_fig8_9_lambda_err.cc.o"
+  "CMakeFiles/bench_fig8_9_lambda_err.dir/bench_fig8_9_lambda_err.cc.o.d"
+  "bench_fig8_9_lambda_err"
+  "bench_fig8_9_lambda_err.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_9_lambda_err.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_algorithms.dir/bench_perf_algorithms.cc.o"
+  "CMakeFiles/bench_perf_algorithms.dir/bench_perf_algorithms.cc.o.d"
+  "bench_perf_algorithms"
+  "bench_perf_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

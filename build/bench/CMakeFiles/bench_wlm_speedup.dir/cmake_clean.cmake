@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_wlm_speedup.dir/bench_wlm_speedup.cc.o"
+  "CMakeFiles/bench_wlm_speedup.dir/bench_wlm_speedup.cc.o.d"
+  "bench_wlm_speedup"
+  "bench_wlm_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_wlm_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_dashboard.dir/live_dashboard.cpp.o"
+  "CMakeFiles/live_dashboard.dir/live_dashboard.cpp.o.d"
+  "live_dashboard"
+  "live_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_shell.dir/mqpi_shell.cpp.o"
+  "CMakeFiles/mqpi_shell.dir/mqpi_shell.cpp.o.d"
+  "mqpi_shell"
+  "mqpi_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_advisor.dir/speedup_advisor.cpp.o"
+  "CMakeFiles/speedup_advisor.dir/speedup_advisor.cpp.o.d"
+  "speedup_advisor"
+  "speedup_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_common.dir/logging.cc.o"
+  "CMakeFiles/mqpi_common.dir/logging.cc.o.d"
+  "CMakeFiles/mqpi_common.dir/priority.cc.o"
+  "CMakeFiles/mqpi_common.dir/priority.cc.o.d"
+  "CMakeFiles/mqpi_common.dir/random.cc.o"
+  "CMakeFiles/mqpi_common.dir/random.cc.o.d"
+  "CMakeFiles/mqpi_common.dir/stats.cc.o"
+  "CMakeFiles/mqpi_common.dir/stats.cc.o.d"
+  "CMakeFiles/mqpi_common.dir/status.cc.o"
+  "CMakeFiles/mqpi_common.dir/status.cc.o.d"
+  "libmqpi_common.a"
+  "libmqpi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/expr.cc" "src/engine/CMakeFiles/mqpi_engine.dir/expr.cc.o" "gcc" "src/engine/CMakeFiles/mqpi_engine.dir/expr.cc.o.d"
+  "/root/repo/src/engine/operators.cc" "src/engine/CMakeFiles/mqpi_engine.dir/operators.cc.o" "gcc" "src/engine/CMakeFiles/mqpi_engine.dir/operators.cc.o.d"
+  "/root/repo/src/engine/planner.cc" "src/engine/CMakeFiles/mqpi_engine.dir/planner.cc.o" "gcc" "src/engine/CMakeFiles/mqpi_engine.dir/planner.cc.o.d"
+  "/root/repo/src/engine/query_execution.cc" "src/engine/CMakeFiles/mqpi_engine.dir/query_execution.cc.o" "gcc" "src/engine/CMakeFiles/mqpi_engine.dir/query_execution.cc.o.d"
+  "/root/repo/src/engine/sql_parser.cc" "src/engine/CMakeFiles/mqpi_engine.dir/sql_parser.cc.o" "gcc" "src/engine/CMakeFiles/mqpi_engine.dir/sql_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/mqpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

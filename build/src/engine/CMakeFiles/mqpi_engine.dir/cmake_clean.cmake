@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_engine.dir/expr.cc.o"
+  "CMakeFiles/mqpi_engine.dir/expr.cc.o.d"
+  "CMakeFiles/mqpi_engine.dir/operators.cc.o"
+  "CMakeFiles/mqpi_engine.dir/operators.cc.o.d"
+  "CMakeFiles/mqpi_engine.dir/planner.cc.o"
+  "CMakeFiles/mqpi_engine.dir/planner.cc.o.d"
+  "CMakeFiles/mqpi_engine.dir/query_execution.cc.o"
+  "CMakeFiles/mqpi_engine.dir/query_execution.cc.o.d"
+  "CMakeFiles/mqpi_engine.dir/sql_parser.cc.o"
+  "CMakeFiles/mqpi_engine.dir/sql_parser.cc.o.d"
+  "libmqpi_engine.a"
+  "libmqpi_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

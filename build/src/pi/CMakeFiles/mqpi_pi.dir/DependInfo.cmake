@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pi/analytic_simulator.cc" "src/pi/CMakeFiles/mqpi_pi.dir/analytic_simulator.cc.o" "gcc" "src/pi/CMakeFiles/mqpi_pi.dir/analytic_simulator.cc.o.d"
+  "/root/repo/src/pi/future_model.cc" "src/pi/CMakeFiles/mqpi_pi.dir/future_model.cc.o" "gcc" "src/pi/CMakeFiles/mqpi_pi.dir/future_model.cc.o.d"
+  "/root/repo/src/pi/multi_query_pi.cc" "src/pi/CMakeFiles/mqpi_pi.dir/multi_query_pi.cc.o" "gcc" "src/pi/CMakeFiles/mqpi_pi.dir/multi_query_pi.cc.o.d"
+  "/root/repo/src/pi/pi_manager.cc" "src/pi/CMakeFiles/mqpi_pi.dir/pi_manager.cc.o" "gcc" "src/pi/CMakeFiles/mqpi_pi.dir/pi_manager.cc.o.d"
+  "/root/repo/src/pi/single_query_pi.cc" "src/pi/CMakeFiles/mqpi_pi.dir/single_query_pi.cc.o" "gcc" "src/pi/CMakeFiles/mqpi_pi.dir/single_query_pi.cc.o.d"
+  "/root/repo/src/pi/stage_profile.cc" "src/pi/CMakeFiles/mqpi_pi.dir/stage_profile.cc.o" "gcc" "src/pi/CMakeFiles/mqpi_pi.dir/stage_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sched/CMakeFiles/mqpi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqpi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mqpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqpi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

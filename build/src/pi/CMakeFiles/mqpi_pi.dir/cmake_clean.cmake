@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_pi.dir/analytic_simulator.cc.o"
+  "CMakeFiles/mqpi_pi.dir/analytic_simulator.cc.o.d"
+  "CMakeFiles/mqpi_pi.dir/future_model.cc.o"
+  "CMakeFiles/mqpi_pi.dir/future_model.cc.o.d"
+  "CMakeFiles/mqpi_pi.dir/multi_query_pi.cc.o"
+  "CMakeFiles/mqpi_pi.dir/multi_query_pi.cc.o.d"
+  "CMakeFiles/mqpi_pi.dir/pi_manager.cc.o"
+  "CMakeFiles/mqpi_pi.dir/pi_manager.cc.o.d"
+  "CMakeFiles/mqpi_pi.dir/single_query_pi.cc.o"
+  "CMakeFiles/mqpi_pi.dir/single_query_pi.cc.o.d"
+  "CMakeFiles/mqpi_pi.dir/stage_profile.cc.o"
+  "CMakeFiles/mqpi_pi.dir/stage_profile.cc.o.d"
+  "libmqpi_pi.a"
+  "libmqpi_pi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_pi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

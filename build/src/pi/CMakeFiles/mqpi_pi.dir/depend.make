@@ -1,0 +1,2 @@
+# Empty dependencies file for mqpi_pi.
+# This may be replaced when dependencies are built.

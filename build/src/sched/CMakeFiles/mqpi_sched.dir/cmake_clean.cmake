@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_sched.dir/rdbms.cc.o"
+  "CMakeFiles/mqpi_sched.dir/rdbms.cc.o.d"
+  "libmqpi_sched.a"
+  "libmqpi_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mqpi_sched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/report.cc" "src/sim/CMakeFiles/mqpi_sim.dir/report.cc.o" "gcc" "src/sim/CMakeFiles/mqpi_sim.dir/report.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/sim/CMakeFiles/mqpi_sim.dir/runner.cc.o" "gcc" "src/sim/CMakeFiles/mqpi_sim.dir/runner.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/mqpi_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/mqpi_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pi/CMakeFiles/mqpi_pi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mqpi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mqpi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqpi_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mqpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqpi_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

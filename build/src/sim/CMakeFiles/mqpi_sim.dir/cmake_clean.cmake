@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_sim.dir/report.cc.o"
+  "CMakeFiles/mqpi_sim.dir/report.cc.o.d"
+  "CMakeFiles/mqpi_sim.dir/runner.cc.o"
+  "CMakeFiles/mqpi_sim.dir/runner.cc.o.d"
+  "CMakeFiles/mqpi_sim.dir/trace.cc.o"
+  "CMakeFiles/mqpi_sim.dir/trace.cc.o.d"
+  "libmqpi_sim.a"
+  "libmqpi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/mqpi_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/mqpi_storage.dir/catalog.cc.o"
+  "CMakeFiles/mqpi_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/mqpi_storage.dir/histogram.cc.o"
+  "CMakeFiles/mqpi_storage.dir/histogram.cc.o.d"
+  "CMakeFiles/mqpi_storage.dir/index.cc.o"
+  "CMakeFiles/mqpi_storage.dir/index.cc.o.d"
+  "CMakeFiles/mqpi_storage.dir/schema.cc.o"
+  "CMakeFiles/mqpi_storage.dir/schema.cc.o.d"
+  "CMakeFiles/mqpi_storage.dir/table.cc.o"
+  "CMakeFiles/mqpi_storage.dir/table.cc.o.d"
+  "CMakeFiles/mqpi_storage.dir/tpcr_gen.cc.o"
+  "CMakeFiles/mqpi_storage.dir/tpcr_gen.cc.o.d"
+  "libmqpi_storage.a"
+  "libmqpi_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

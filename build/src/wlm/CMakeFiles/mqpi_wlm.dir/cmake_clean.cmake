@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_wlm.dir/maintenance.cc.o"
+  "CMakeFiles/mqpi_wlm.dir/maintenance.cc.o.d"
+  "CMakeFiles/mqpi_wlm.dir/speedup.cc.o"
+  "CMakeFiles/mqpi_wlm.dir/speedup.cc.o.d"
+  "CMakeFiles/mqpi_wlm.dir/wlm_advisor.cc.o"
+  "CMakeFiles/mqpi_wlm.dir/wlm_advisor.cc.o.d"
+  "libmqpi_wlm.a"
+  "libmqpi_wlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_wlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

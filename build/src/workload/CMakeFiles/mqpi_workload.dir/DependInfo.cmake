@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/arrival_schedule.cc" "src/workload/CMakeFiles/mqpi_workload.dir/arrival_schedule.cc.o" "gcc" "src/workload/CMakeFiles/mqpi_workload.dir/arrival_schedule.cc.o.d"
+  "/root/repo/src/workload/zipf_workload.cc" "src/workload/CMakeFiles/mqpi_workload.dir/zipf_workload.cc.o" "gcc" "src/workload/CMakeFiles/mqpi_workload.dir/zipf_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/mqpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

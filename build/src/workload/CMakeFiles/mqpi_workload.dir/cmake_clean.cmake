@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mqpi_workload.dir/arrival_schedule.cc.o"
+  "CMakeFiles/mqpi_workload.dir/arrival_schedule.cc.o.d"
+  "CMakeFiles/mqpi_workload.dir/zipf_workload.cc.o"
+  "CMakeFiles/mqpi_workload.dir/zipf_workload.cc.o.d"
+  "libmqpi_workload.a"
+  "libmqpi_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mqpi_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/admin_test.cc" "tests/CMakeFiles/admin_test.dir/admin_test.cc.o" "gcc" "tests/CMakeFiles/admin_test.dir/admin_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wlm/CMakeFiles/mqpi_wlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mqpi_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pi/CMakeFiles/mqpi_pi.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mqpi_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/mqpi_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/mqpi_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mqpi_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mqpi_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

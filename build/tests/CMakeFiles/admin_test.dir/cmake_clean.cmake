@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/admin_test.dir/admin_test.cc.o"
+  "CMakeFiles/admin_test.dir/admin_test.cc.o.d"
+  "admin_test"
+  "admin_test.pdb"
+  "admin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/admin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

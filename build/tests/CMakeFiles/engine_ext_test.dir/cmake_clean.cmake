@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_ext_test.dir/engine_ext_test.cc.o"
+  "CMakeFiles/engine_ext_test.dir/engine_ext_test.cc.o.d"
+  "engine_ext_test"
+  "engine_ext_test.pdb"
+  "engine_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_soak_test.dir/fuzz_soak_test.cc.o"
+  "CMakeFiles/fuzz_soak_test.dir/fuzz_soak_test.cc.o.d"
+  "fuzz_soak_test"
+  "fuzz_soak_test.pdb"
+  "fuzz_soak_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_soak_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

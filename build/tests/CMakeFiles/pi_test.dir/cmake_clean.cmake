@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pi_test.dir/pi_test.cc.o"
+  "CMakeFiles/pi_test.dir/pi_test.cc.o.d"
+  "pi_test"
+  "pi_test.pdb"
+  "pi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_workload_test.dir/sim_workload_test.cc.o"
+  "CMakeFiles/sim_workload_test.dir/sim_workload_test.cc.o.d"
+  "sim_workload_test"
+  "sim_workload_test.pdb"
+  "sim_workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stage_profile_test.dir/stage_profile_test.cc.o"
+  "CMakeFiles/stage_profile_test.dir/stage_profile_test.cc.o.d"
+  "stage_profile_test"
+  "stage_profile_test.pdb"
+  "stage_profile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stage_profile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

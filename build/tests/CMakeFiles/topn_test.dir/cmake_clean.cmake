@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topn_test.dir/topn_test.cc.o"
+  "CMakeFiles/topn_test.dir/topn_test.cc.o.d"
+  "topn_test"
+  "topn_test.pdb"
+  "topn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

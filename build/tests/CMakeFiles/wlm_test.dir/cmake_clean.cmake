@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wlm_test.dir/wlm_test.cc.o"
+  "CMakeFiles/wlm_test.dir/wlm_test.cc.o.d"
+  "wlm_test"
+  "wlm_test.pdb"
+  "wlm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
