@@ -1,16 +1,22 @@
-// Live progress dashboard: the GUI-tool use of progress indicators the
-// prior work proposed, upgraded with multi-query ETAs (this paper's
-// contribution). Renders a text dashboard every few simulated seconds:
-// per-query progress bars, the single-query and multi-query ETAs side
-// by side, and the PI's forecast of the system quiescent time.
+// Live progress dashboard, served concurrently: a PiService ticker
+// thread executes the workload in (scaled) real time while this main
+// thread is a pure *reader* — it polls the published ProgressSnapshot
+// and renders per-query progress bars, both ETAs side by side, queue
+// positions, and the forecast quiescent time, without ever touching the
+// engine lock. Extra traffic arrives mid-run from a replayed Poisson
+// schedule, exactly the §5.2.3 setup but flowing through a session.
+// Exits with a dump of the service metrics registry.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <thread>
 
-#include "pi/pi_manager.h"
-#include "sched/rdbms.h"
-#include "sim/runner.h"
+#include "service/pi_service.h"
+#include "service/session.h"
+#include "service/traffic.h"
 #include "storage/tpcr_gen.h"
+#include "workload/arrival_schedule.h"
 #include "workload/zipf_workload.h"
 
 using namespace mqpi;
@@ -27,10 +33,34 @@ std::string Bar(double fraction, int width) {
 }
 
 std::string Eta(double seconds) {
-  if (seconds >= kInfiniteTime) return "   ?";
+  if (seconds == kUnknown) return "?";
+  if (seconds >= kInfiniteTime) return "inf";
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%6.1fs", seconds);
+  std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
   return buf;
+}
+
+void Render(const service::ProgressSnapshot& snap) {
+  std::printf("\n=== snapshot #%llu | t = %5.1f s | running %d | "
+              "queued %d | measured rate %.0f U/s ===\n",
+              static_cast<unsigned long long>(snap.sequence), snap.sim_time,
+              snap.num_running, snap.num_queued, snap.measured_rate);
+  std::printf("%-4s %-9s %-26s %8s %10s %10s %6s\n", "id", "state",
+              "progress", "done%", "single ETA", "multi ETA", "queue");
+  for (const auto& q : snap.queries) {
+    if (q.terminal()) continue;
+    const std::string queue_pos =
+        q.queue_position >= 0 ? "#" + std::to_string(q.queue_position) : "-";
+    std::printf("%-4llu %-9s [%s] %7.1f%% %10s %10s %6s\n",
+                static_cast<unsigned long long>(q.id),
+                std::string(sched::QueryStateName(q.state)).c_str(),
+                Bar(q.fraction_done, 24).c_str(), 100.0 * q.fraction_done,
+                Eta(q.eta_single).c_str(), Eta(q.eta_multi).c_str(),
+                queue_pos.c_str());
+  }
+  if (snap.quiescent_eta != kUnknown) {
+    std::printf("system quiescent in ~%s\n", Eta(snap.quiescent_eta).c_str());
+  }
 }
 
 }  // namespace
@@ -46,49 +76,50 @@ int main() {
     return 1;
   }
 
-  sched::RdbmsOptions options;
-  options.processing_rate = 800.0;
-  options.quantum = 0.1;
-  options.max_concurrent = 4;  // small MPL: show the admission queue
-  options.cost_model.noise_sigma = 0.2;
-  sched::Rdbms db(&catalog, options);
-  pi::PiManager pis(&db, {.sample_interval = 1.0,
-                          .record_queue_blind_variant = false});
-  sim::SimulationRunner runner(&db, &pis);
+  service::PiServiceOptions options;
+  options.rdbms.processing_rate = 800.0;
+  options.rdbms.quantum = 0.1;
+  options.rdbms.max_concurrent = 4;  // small MPL: show the admission queue
+  options.rdbms.cost_model.noise_sigma = 0.2;
+  options.future_prior = {.lambda = 0.1, .avg_cost = 2000.0};
+  options.future_prior_strength = 4.0;  // adapt as real arrivals land
+  options.time_scale = 60.0;  // 60 simulated seconds per wall second
+  service::PiService service(&catalog, options);
 
+  auto session = service.OpenSession("dashboard-loadgen");
   Rng rng(99);
   for (int i = 0; i < 7; ++i) {
-    auto id = runner.SubmitNow(workload.SampleSpec(&rng));
-    if (id.ok()) pis.Track(*id);
+    auto id = session->Submit(workload.SampleSpec(&rng));
+    if (!id.ok()) {
+      std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+      return 1;
+    }
   }
+  // Mid-run traffic: a Poisson schedule replayed through the session.
+  const auto schedule =
+      workload::GeneratePoissonArrivals(workload, /*lambda=*/0.1,
+                                        /*horizon=*/60.0, &rng);
+  if (auto s = service::ReplaySchedule(session.get(), workload, schedule);
+      !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("7 queries submitted + %zu scheduled arrivals; ticker at "
+              "%.0fx real time\n",
+              schedule.size(), options.time_scale);
 
-  while (!db.Idle()) {
-    runner.StepFor(5.0);
-    std::printf("\n=== t = %5.1f s | running %d | queued %d | "
-                "measured rate %.0f U/s ===\n",
-                db.now(), db.num_running(), db.num_queued(),
-                pis.multi()->estimated_rate());
-    std::printf("%-4s %-9s %-26s %8s %10s %10s\n", "id", "state",
-                "progress", "done%", "single ETA", "multi ETA");
-    for (const auto& row : pis.Report()) {
-      std::printf("%-4llu %-9s [%s] %7.1f%% %10s %10s\n",
-                  static_cast<unsigned long long>(row.id),
-                  std::string(sched::QueryStateName(row.state)).c_str(),
-                  Bar(row.fraction_done, 24).c_str(),
-                  100.0 * row.fraction_done,
-                  Eta(row.eta_single == kUnknown ? kInfiniteTime
-                                                 : row.eta_single)
-                      .c_str(),
-                  Eta(row.eta_multi == kUnknown ? kInfiniteTime
-                                                : row.eta_multi)
-                      .c_str());
-    }
-    auto forecast = pis.multi()->ForecastAll();
-    if (forecast.ok()) {
-      std::printf("system quiescent in ~%.1f s\n",
-                  forecast->quiescent_time());
-    }
+  // Pure reader loop: snapshot polls only, engine never locked.
+  for (int frame = 0; frame < 60 && !service.Idle(); ++frame) {
+    Render(*service.snapshot());
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
   }
-  std::printf("\nAll queries finished at t = %.1f s.\n", db.now());
+  service.WaitUntilIdle(/*timeout_seconds=*/120.0);
+  Render(*service.snapshot());
+  session->Close();
+  service.Stop();
+
+  std::printf("\nAll queries finished at t = %.1f s. Metrics:\n\n%s",
+              service.snapshot()->sim_time,
+              service.metrics()->TextDump().c_str());
   return 0;
 }

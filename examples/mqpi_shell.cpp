@@ -1,6 +1,9 @@
 // mqpi_shell: a tiny psql-style driver for the library, script-friendly
-// (reads commands from stdin, echoes results to stdout). Run it
-// interactively or pipe a script:
+// (reads commands from stdin, echoes results to stdout). Since the
+// service layer landed it runs against a PiService *session* in manual
+// mode — the same admission accounting, ownership checks, snapshots,
+// and metrics a concurrent deployment gets, but stepped
+// deterministically by the `step` command instead of a ticker thread.
 //
 //   ./mqpi_shell <<'EOF'
 //   gen lineitem 2000 30
@@ -12,18 +15,20 @@
 //   step 5
 //   pis
 //   run
+//   metrics
 //   EOF
 //
 // Commands:
 //   gen lineitem <keys> <matches>   build lineitem + index
 //   gen part <name> <N_i>           build a part table (10*N_i rows)
-//   submit <sql>                    parse, plan, and submit a query
+//   submit <sql>                    parse, plan, and submit via the session
 //   explain <sql>                   show the plan without running
 //   step <seconds>                  advance simulated time
-//   pis                             progress dashboard (both estimators)
-//   block <id> / resume <id> / abort <id>
+//   pis                             progress dashboard (snapshot contents)
+//   block <id> / resume <id> / abort <id>   (session-owned queries only)
 //   priority <id> low|normal|high|critical
 //   run                             step until idle
+//   metrics                         dump the service metrics registry
 //   quit
 
 #include <cstdio>
@@ -32,8 +37,8 @@
 #include <string>
 
 #include "engine/sql_parser.h"
-#include "pi/pi_manager.h"
-#include "sched/rdbms.h"
+#include "service/pi_service.h"
+#include "service/session.h"
 #include "storage/tpcr_gen.h"
 
 using namespace mqpi;
@@ -43,45 +48,39 @@ namespace {
 struct Shell {
   storage::Catalog catalog;
   std::unique_ptr<storage::TpcrGenerator> generator;
-  std::unique_ptr<sched::Rdbms> db;
-  std::unique_ptr<pi::PiManager> pis;
+  std::unique_ptr<service::PiService> db;
+  std::unique_ptr<service::Session> session;
 
   Shell() {
-    sched::RdbmsOptions options;
-    options.processing_rate = 1000.0;
-    options.quantum = 0.1;
-    options.cost_model.noise_sigma = 0.15;
-    db = std::make_unique<sched::Rdbms>(&catalog, options);
-    pis = std::make_unique<pi::PiManager>(
-        db.get(),
-        pi::PiManagerOptions{.sample_interval = 1.0, .auto_track = true});
+    service::PiServiceOptions options;
+    options.rdbms.processing_rate = 1000.0;
+    options.rdbms.quantum = 0.1;
+    options.rdbms.cost_model.noise_sigma = 0.15;
+    options.pi.sample_interval = 1.0;
+    options.start_ticker = false;  // deterministic: we drive the clock
+    db = std::make_unique<service::PiService>(&catalog, options);
+    session = db->OpenSession("shell");
   }
-
-  void Step(double seconds) {
-    double remaining = seconds;
-    while (remaining > 1e-9) {
-      const double dt = std::min(remaining, db->options().quantum);
-      db->Step(dt);
-      pis->AfterStep();
-      remaining -= dt;
-    }
-  }
+  ~Shell() { session->Close(); }
 
   void ShowPis() {
-    std::printf("t=%.1f s | running %d | queued %d\n", db->now(),
-                db->num_running(), db->num_queued());
-    for (const auto& row : pis->Report()) {
-      std::printf("  #%llu %-8s %5.1f%%  single %8.8s  multi %8.8s  %s\n",
-                  static_cast<unsigned long long>(row.id),
-                  std::string(sched::QueryStateName(row.state)).c_str(),
-                  100.0 * row.fraction_done,
-                  row.eta_single == kUnknown || row.eta_single >= kInfiniteTime
-                      ? "?"
-                      : std::to_string(row.eta_single).c_str(),
-                  row.eta_multi == kUnknown || row.eta_multi >= kInfiniteTime
-                      ? "?"
-                      : std::to_string(row.eta_multi).c_str(),
-                  row.label.substr(0, 48).c_str());
+    db->PublishNow();  // fold in submissions since the last step
+    const service::SnapshotPtr snap = db->snapshot();
+    std::printf("t=%.1f s | running %d | queued %d\n", snap->sim_time,
+                snap->num_running, snap->num_queued);
+    auto eta = [](SimTime t) -> std::string {
+      if (t == kUnknown || t >= kInfiniteTime) return "?";
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.1fs", t);
+      return buf;
+    };
+    for (const auto& q : snap->queries) {
+      if (q.terminal()) continue;
+      std::printf("  #%llu %-8s %5.1f%%  single %8s  multi %8s  %s\n",
+                  static_cast<unsigned long long>(q.id),
+                  std::string(sched::QueryStateName(q.state)).c_str(),
+                  100.0 * q.fraction_done, eta(q.eta_single).c_str(),
+                  eta(q.eta_multi).c_str(), q.label.substr(0, 48).c_str());
     }
   }
 };
@@ -161,11 +160,11 @@ int main() {
         continue;
       }
       if (cmd == "explain") {
-        auto report = shell.db->planner()->Explain(*spec);
+        auto report = shell.db->Explain(*spec);
         std::printf("%s\n", report.ok() ? report->c_str()
                                         : report.status().ToString().c_str());
       } else {
-        auto id = shell.db->Submit(*spec);
+        auto id = shell.session->Submit(*spec);
         if (id.ok()) {
           std::printf("submitted #%llu\n",
                       static_cast<unsigned long long>(*id));
@@ -179,7 +178,11 @@ int main() {
     if (cmd == "step") {
       double seconds = 1.0;
       is >> seconds;
-      shell.Step(seconds);
+      const Status status = shell.db->Advance(seconds);
+      if (!status.ok()) {
+        std::printf("error: %s\n", status.ToString().c_str());
+        continue;
+      }
       std::printf("t=%.1f s\n", shell.db->now());
       continue;
     }
@@ -188,16 +191,24 @@ int main() {
       continue;
     }
     if (cmd == "run") {
-      while (!shell.db->Idle()) shell.Step(1.0);
-      std::printf("idle at t=%.1f s\n", shell.db->now());
+      auto t = shell.db->AdvanceUntilIdle();
+      if (t.ok()) {
+        std::printf("idle at t=%.1f s\n", *t);
+      } else {
+        std::printf("error: %s\n", t.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (cmd == "metrics") {
+      std::printf("%s", shell.db->metrics()->TextDump().c_str());
       continue;
     }
     if (cmd == "block" || cmd == "resume" || cmd == "abort") {
       QueryId id = 0;
       is >> id;
-      const Status status = cmd == "block"    ? shell.db->Block(id)
-                            : cmd == "resume" ? shell.db->Resume(id)
-                                              : shell.db->Abort(id);
+      const Status status = cmd == "block"    ? shell.session->Block(id)
+                            : cmd == "resume" ? shell.session->Resume(id)
+                                              : shell.session->Abort(id);
       std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
       continue;
     }
@@ -210,7 +221,7 @@ int main() {
         std::printf("%s\n", priority.status().ToString().c_str());
         continue;
       }
-      const Status status = shell.db->SetPriority(id, *priority);
+      const Status status = shell.session->SetPriority(id, *priority);
       std::printf("%s\n", status.ok() ? "ok" : status.ToString().c_str());
       continue;
     }

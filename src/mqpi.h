@@ -7,6 +7,16 @@
 //   wlm      - speed-up and scheduled-maintenance algorithms
 //   workload - Zipf query mixes and Poisson arrival schedules
 //   sim      - simulation runner, traces, series reporting
+//   service  - concurrent multi-session frontend: PiService owns the
+//              engine + PIs and drives them from a ticker thread;
+//              Session is the per-client handle (submit / control own
+//              queries); after every quantum the ticker publishes an
+//              immutable ProgressSnapshot that any number of reader
+//              threads consume without blocking the stepping thread
+//              (shared_ptr swap under a pointer-only lock); a
+//              MetricsRegistry exports counters/gauges/histograms as a
+//              text dump. Everything below `service` is single-threaded
+//              and externally synchronized by PiService's state lock.
 #pragma once
 
 #include "common/priority.h"    // IWYU pragma: export
@@ -22,6 +32,11 @@
 #include "pi/single_query_pi.h" // IWYU pragma: export
 #include "pi/stage_profile.h"   // IWYU pragma: export
 #include "sched/rdbms.h"        // IWYU pragma: export
+#include "service/metrics.h"    // IWYU pragma: export
+#include "service/pi_service.h" // IWYU pragma: export
+#include "service/session.h"    // IWYU pragma: export
+#include "service/snapshot.h"   // IWYU pragma: export
+#include "service/traffic.h"    // IWYU pragma: export
 #include "sim/report.h"         // IWYU pragma: export
 #include "sim/runner.h"         // IWYU pragma: export
 #include "sim/trace.h"          // IWYU pragma: export

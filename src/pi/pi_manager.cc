@@ -33,10 +33,13 @@ void PiManager::Track(QueryId id) {
 
 Result<SimTime> PiManager::EstimateSingle(QueryId id) const {
   auto it = singles_.find(id);
-  if (it == singles_.end()) {
-    return Status::NotFound("query " + std::to_string(id) + " not tracked");
-  }
+  if (it == singles_.end()) return kUnknown;  // never tracked: no history
   return it->second.EstimateRemainingTime();
+}
+
+double PiManager::SpeedOf(QueryId id) const {
+  auto it = singles_.find(id);
+  return it == singles_.end() ? 0.0 : it->second.speed();
 }
 
 const std::vector<EstimateSample>& PiManager::Trace(QueryId id) const {

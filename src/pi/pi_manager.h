@@ -56,7 +56,9 @@ class PiManager {
   PiManager(sched::Rdbms* db, PiManagerOptions options = {},
             FutureWorkloadModel* future = nullptr);
 
-  /// Starts tracing a query. Must be called before its first sample.
+  /// Starts tracing a query. Idempotent; re-tracking an already
+  /// tracked query keeps its observation history. Samples recorded
+  /// before the first Track() call are simply absent from the trace.
   void Track(QueryId id);
 
   /// Feeds PIs and appends due samples; call after every Step quantum.
@@ -65,8 +67,15 @@ class PiManager {
   /// The recorded trace of a tracked query (empty if never sampled).
   const std::vector<EstimateSample>& Trace(QueryId id) const;
 
-  /// Current single-query estimate for a tracked query.
+  /// Current single-query estimate. Untracked or finished ids are not
+  /// an error: they report kUnknown (no observation history), so
+  /// concurrent callers — e.g. service sessions polling arbitrary
+  /// ids — need no Track()-before-sample ordering.
   Result<SimTime> EstimateSingle(QueryId id) const;
+
+  /// Smoothed observed speed of a tracked query (U/s); 0 if untracked
+  /// or not yet observed.
+  double SpeedOf(QueryId id) const;
 
   /// Current multi-query estimate.
   Result<SimTime> EstimateMulti(QueryId id) const {

@@ -431,6 +431,23 @@ std::vector<QueryInfo> Rdbms::BlockedQueries() const {
   return out;
 }
 
+Result<int> Rdbms::QueuePosition(QueryId id) const {
+  int position = 0;
+  for (QueryId queued : admission_queue_) {
+    auto it = queries_.find(queued);
+    if (it == queries_.end() || it->second->state != QueryState::kQueued) {
+      continue;  // lazily-removed abort
+    }
+    if (queued == id) return position;
+    ++position;
+  }
+  if (queries_.find(id) == queries_.end()) {
+    return Status::NotFound("query " + std::to_string(id) + " unknown");
+  }
+  return Status::FailedPrecondition("query " + std::to_string(id) +
+                                    " is not queued");
+}
+
 std::vector<QueryInfo> Rdbms::QueuedQueries() const {
   std::vector<QueryInfo> out;
   for (QueryId id : admission_queue_) {

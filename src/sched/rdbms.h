@@ -11,6 +11,13 @@
 // query receives budget C*dt*w_i/W (plus its carried deficit, so
 // operator-granularity overshoot evens out), completions are detected,
 // and queued queries are admitted into freed slots.
+//
+// Thread-safety: none — an Rdbms is single-threaded state, externally
+// synchronized by its owner. The concurrent frontend is
+// service::PiService, which serializes every call (including the
+// listeners registered here, which fire on the mutating thread) under
+// one lock and publishes lock-free read snapshots instead of exposing
+// this class to reader threads.
 #pragma once
 
 #include <deque>
@@ -171,6 +178,11 @@ class Rdbms {
   int num_running() const { return static_cast<int>(running_.size()); }
   int num_queued() const { return static_cast<int>(admission_queue_.size()); }
   bool Idle() const;
+
+  /// 0-based position of a query among the live entries of the
+  /// admission queue (the wait-line number a service shows the user).
+  /// NotFound for unknown ids, FailedPrecondition if not queued.
+  Result<int> QueuePosition(QueryId id) const;
 
   const RdbmsOptions& options() const { return options_; }
 

@@ -1,0 +1,134 @@
+#include "service/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace mqpi::service {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  // %g keeps counters integral-looking and latencies compact.
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<double> Histogram::DefaultBounds() {
+  return {0.0625, 0.25, 1.0, 4.0, 16.0, 64.0, 256.0, 1024.0};
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++buckets_[i];
+  ++count_;
+  sum_ += v;
+  if (count_ == 1) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::Quantile(double quantile) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) return 0.0;
+  quantile = std::clamp(quantile, 0.0, 1.0);
+  const double target = quantile * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (seen + buckets_[i] < target) {
+      seen += buckets_[i];
+      continue;
+    }
+    const double lo = i == 0 ? min_ : bounds_[i - 1];
+    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    if (buckets_[i] == 0) return lo;
+    const double within =
+        (target - static_cast<double>(seen)) /
+        static_cast<double>(buckets_[i]);
+    return lo + within * (hi - lo);
+  }
+  return max_;
+}
+
+std::string Histogram::Render() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "count=" + FormatDouble(static_cast<double>(count_)) +
+                    " sum=" + FormatDouble(sum_) + " mean=" +
+                    FormatDouble(count_ > 0
+                                     ? sum_ / static_cast<double>(count_)
+                                     : 0.0) +
+                    " max=" + FormatDouble(max_);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i];
+    out += " le_" + FormatDouble(bounds_[i]) + "=" +
+           FormatDouble(static_cast<double>(cumulative));
+  }
+  cumulative += buckets_.back();
+  out += " inf=" + FormatDouble(static_cast<double>(cumulative));
+  return out;
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::string MetricsRegistry::TextDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, counter] : counters_) {
+    out += "counter   " + name + " " +
+           FormatDouble(static_cast<double>(counter->value())) + "\n";
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out += "gauge     " + name + " " + FormatDouble(gauge->value()) + "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    out += "histogram " + name + " " + histogram->Render() + "\n";
+  }
+  return out;
+}
+
+}  // namespace mqpi::service

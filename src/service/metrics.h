@@ -1,0 +1,99 @@
+// Metrics: a small thread-safe registry of counters, gauges, and
+// latency histograms for the PI service layer.
+//
+// Instruments are created on first use (`registry.counter("name")`) and
+// live as long as the registry; the returned pointers are stable, so hot
+// paths cache them and update lock-free (counters and gauges are single
+// atomics; histograms take a short per-instrument mutex). `TextDump()`
+// renders every instrument in a flat, grep-friendly text format for the
+// dashboard example and for tests:
+//
+//   counter   service.quanta_stepped 1042
+//   gauge     queries.running 3
+//   histogram step.wall_ms count=1042 sum=96.1 mean=0.092 max=1.8
+//             le_0.25=820 le_1=1033 le_4=1042 ... inf=1042
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mqpi::service {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary histogram (cumulative buckets, Prometheus-style) with
+/// count/sum/min/max. Default boundaries suit millisecond latencies.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds = DefaultBounds());
+
+  void Observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const;
+  double max() const;
+  /// Value below which `quantile` (in [0,1]) of observations fall,
+  /// linearly interpolated within its bucket; 0 when empty.
+  double Quantile(double quantile) const;
+
+  static std::vector<double> DefaultBounds();
+
+  /// "count=N sum=S mean=M max=X le_<b>=c ... inf=N".
+  std::string Render() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> bounds_;          // ascending upper bounds
+  std::vector<std::uint64_t> buckets_;  // bounds_.size() + 1 (overflow)
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named instruments, created on demand. Thread-safe; instrument
+/// pointers remain valid for the registry's lifetime.
+class MetricsRegistry {
+ public:
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  /// Every instrument, one per line, sorted by name within each kind.
+  std::string TextDump() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace mqpi::service

@@ -1,0 +1,569 @@
+#include "service/pi_service.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "service/session.h"
+
+namespace mqpi::service {
+
+namespace {
+
+using WallClock = std::chrono::steady_clock;
+
+double MsSince(WallClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(WallClock::now() - start)
+      .count();
+}
+
+pi::PiManagerOptions ForceAutoTrack(pi::PiManagerOptions options) {
+  options.auto_track = true;
+  return options;
+}
+
+}  // namespace
+
+PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
+    : options_(std::move(options)),
+      db_(std::make_unique<sched::Rdbms>(catalog, options_.rdbms)) {
+  if (options_.future_prior.lambda > 0.0 ||
+      options_.future_prior_strength > 0.0) {
+    future_ = options_.future_prior_strength > 0.0
+                  ? std::make_unique<pi::FutureWorkloadModel>(
+                        options_.future_prior, options_.future_prior_strength)
+                  : std::make_unique<pi::FutureWorkloadModel>(
+                        options_.future_prior);
+  }
+  pis_ = std::make_unique<pi::PiManager>(
+      db_.get(), ForceAutoTrack(options_.pi), future_.get());
+
+  // Accounting hook: runs under state_mu_ (every Rdbms mutation goes
+  // through a service method that holds it).
+  db_->AddEventListener([this](const sched::QueryEvent& event) {
+    switch (event.kind) {
+      case sched::QueryEventKind::kStarted:
+        metrics_.counter("queries.admitted")->Increment();
+        break;
+      case sched::QueryEventKind::kFinished:
+      case sched::QueryEventKind::kAborted: {
+        const bool finished =
+            event.kind == sched::QueryEventKind::kFinished;
+        metrics_.counter(finished ? "queries.finished" : "queries.aborted")
+            ->Increment();
+        auto owner = query_owner_.find(event.info.id);
+        if (owner != query_owner_.end()) {
+          auto session = sessions_.find(owner->second);
+          if (session != sessions_.end()) {
+            session->second.live.erase(event.info.id);
+            if (finished) {
+              ++session->second.finished;
+            } else {
+              ++session->second.aborted;
+            }
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  });
+
+  quanta_stepped_ = metrics_.counter("service.quanta_stepped");
+  snapshots_published_ = metrics_.counter("service.snapshots_published");
+  snapshot_reads_ = metrics_.counter("service.snapshot_reads");
+  step_wall_ms_ = metrics_.histogram("step.wall_ms");
+  snapshot_age_ms_ = metrics_.histogram("snapshot.age_ms");
+
+  // Sequence-0 snapshot so snapshot() is never null.
+  snapshot_ = std::make_shared<ProgressSnapshot>();
+  publish_wall_ns_.store(
+      WallClock::now().time_since_epoch().count(),
+      std::memory_order_release);
+
+  if (options_.start_ticker) Start();
+}
+
+PiService::~PiService() { Stop(); }
+
+// ---- sessions ---------------------------------------------------------------
+
+std::unique_ptr<Session> PiService::OpenSession(std::string name) {
+  std::uint64_t id;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    id = next_session_id_++;
+    SessionState state;
+    state.id = id;
+    state.name = name;
+    sessions_.emplace(id, std::move(state));
+  }
+  metrics_.counter("sessions.opened")->Increment();
+  return std::unique_ptr<Session>(new Session(this, id, std::move(name)));
+}
+
+PiService::SessionState* PiService::FindSessionLocked(
+    std::uint64_t session_id) {
+  auto it = sessions_.find(session_id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+Status PiService::CheckOwnedLocked(std::uint64_t session_id,
+                                   QueryId id) const {
+  auto it = query_owner_.find(id);
+  if (it == query_owner_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " unknown to the service");
+  }
+  if (it->second != session_id) {
+    return Status::FailedPrecondition(
+        "query " + std::to_string(id) + " belongs to session " +
+        std::to_string(it->second) + ", not session " +
+        std::to_string(session_id));
+  }
+  return Status::OK();
+}
+
+Result<QueryId> PiService::SessionSubmit(std::uint64_t session_id,
+                                         const engine::QuerySpec& spec,
+                                         Priority priority) {
+  QueryId id;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    SessionState* session = FindSessionLocked(session_id);
+    if (session == nullptr) {
+      return Status::FailedPrecondition("session closed");
+    }
+    if (options_.max_inflight_per_session > 0 &&
+        session->live.size() >= options_.max_inflight_per_session) {
+      metrics_.counter("service.submit_rejected")->Increment();
+      return Status::FailedPrecondition(
+          "session " + std::to_string(session_id) + " is at its inflight "
+          "cap of " + std::to_string(options_.max_inflight_per_session));
+    }
+    auto submitted = db_->Submit(spec, priority);
+    if (!submitted.ok()) {
+      metrics_.counter("service.submit_errors")->Increment();
+      return submitted.status();
+    }
+    id = *submitted;
+    session->live.insert(id);
+    ++session->submitted;
+    query_owner_[id] = session_id;
+    metrics_.counter("service.submits")->Increment();
+  }
+  NotifyWork();
+  return id;
+}
+
+Status PiService::SessionSubmitAt(std::uint64_t session_id, SimTime time,
+                                  engine::QuerySpec spec, Priority priority) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (FindSessionLocked(session_id) == nullptr) {
+      return Status::FailedPrecondition("session closed");
+    }
+    ScheduledSubmit arrival;
+    arrival.time = time;
+    arrival.session_id = session_id;
+    arrival.spec = std::move(spec);
+    arrival.priority = priority;
+    arrivals_.push(std::move(arrival));
+    metrics_.counter("service.scheduled_arrivals")->Increment();
+  }
+  NotifyWork();
+  return Status::OK();
+}
+
+Status PiService::SessionControl(std::uint64_t session_id, QueryId id,
+                                 sched::QueryEventKind op,
+                                 Priority priority) {
+  Status status;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    if (FindSessionLocked(session_id) == nullptr) {
+      return Status::FailedPrecondition("session closed");
+    }
+    MQPI_RETURN_NOT_OK(CheckOwnedLocked(session_id, id));
+    switch (op) {
+      case sched::QueryEventKind::kBlocked:
+        status = db_->Block(id);
+        if (status.ok()) metrics_.counter("service.blocks")->Increment();
+        break;
+      case sched::QueryEventKind::kResumed:
+        status = db_->Resume(id);
+        if (status.ok()) metrics_.counter("service.resumes")->Increment();
+        break;
+      case sched::QueryEventKind::kAborted:
+        status = db_->Abort(id);
+        if (status.ok()) {
+          metrics_.counter("service.aborts_requested")->Increment();
+        }
+        break;
+      case sched::QueryEventKind::kPriorityChanged:
+        status = db_->SetPriority(id, priority);
+        break;
+      default:
+        status = Status::InvalidArgument("unsupported session operation");
+        break;
+    }
+  }
+  // A resume can wake an otherwise-idle (all-blocked) system.
+  if (status.ok() && op == sched::QueryEventKind::kResumed) NotifyWork();
+  return status;
+}
+
+Status PiService::CloseSession(std::uint64_t session_id) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  SessionState* session = FindSessionLocked(session_id);
+  if (session == nullptr) return Status::OK();  // idempotent
+
+  // Drop this session's scheduled arrivals.
+  if (!arrivals_.empty()) {
+    std::vector<ScheduledSubmit> keep;
+    keep.reserve(arrivals_.size());
+    while (!arrivals_.empty()) {
+      if (arrivals_.top().session_id != session_id) {
+        keep.push_back(arrivals_.top());
+      }
+      arrivals_.pop();
+    }
+    for (auto& arrival : keep) arrivals_.push(std::move(arrival));
+  }
+
+  if (options_.abort_queries_on_session_close) {
+    // Abort fires the event listener, which mutates session->live —
+    // iterate a copy.
+    const std::vector<QueryId> live(session->live.begin(),
+                                    session->live.end());
+    for (QueryId id : live) {
+      const Status status = db_->Abort(id);
+      (void)status;  // already-terminal races are fine
+    }
+  }
+  sessions_.erase(session_id);
+  metrics_.counter("sessions.closed")->Increment();
+  return Status::OK();
+}
+
+Result<std::uint64_t> PiService::SessionLiveCount(
+    std::uint64_t session_id) const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  auto it = sessions_.find(session_id);
+  if (it == sessions_.end()) {
+    return Status::FailedPrecondition("session closed");
+  }
+  return static_cast<std::uint64_t>(it->second.live.size());
+}
+
+// ---- stepping ---------------------------------------------------------------
+
+void PiService::SubmitDueArrivalsLocked() {
+  while (!arrivals_.empty() &&
+         arrivals_.top().time <= db_->now() + kTimeEpsilon) {
+    ScheduledSubmit arrival = arrivals_.top();
+    arrivals_.pop();
+    SessionState* session = FindSessionLocked(arrival.session_id);
+    if (session == nullptr) continue;  // closed since scheduling
+    auto submitted = db_->Submit(arrival.spec, arrival.priority);
+    if (!submitted.ok()) {
+      metrics_.counter("service.submit_errors")->Increment();
+      continue;
+    }
+    session->live.insert(*submitted);
+    ++session->submitted;
+    query_owner_[*submitted] = arrival.session_id;
+    metrics_.counter("service.submits")->Increment();
+  }
+}
+
+bool PiService::IdleLocked() const { return db_->Idle() && arrivals_.empty(); }
+
+void PiService::StepAndPublish(SimTime dt) {
+  const auto start = WallClock::now();
+  std::shared_ptr<ProgressSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    SubmitDueArrivalsLocked();
+    db_->Step(dt);
+    pis_->AfterStep();
+    snapshot = BuildSnapshotLocked();
+    metrics_.gauge("queries.running")->Set(snapshot->num_running);
+    metrics_.gauge("queries.queued")->Set(snapshot->num_queued);
+    metrics_.gauge("queries.blocked")->Set(snapshot->num_blocked);
+    metrics_.gauge("service.sim_time")->Set(snapshot->sim_time);
+  }
+  Publish(std::move(snapshot));
+  quanta_stepped_->Increment();
+  step_wall_ms_->Observe(MsSince(start));
+}
+
+std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
+  auto snapshot = std::make_shared<ProgressSnapshot>();
+  snapshot->sim_time = db_->now();
+  snapshot->measured_rate = pis_->multi()->estimated_rate();
+
+  std::unordered_map<QueryId, int> queue_position;
+  {
+    int position = 0;
+    for (const auto& info : db_->QueuedQueries()) {
+      queue_position.emplace(info.id, position++);
+    }
+  }
+
+  // One forecast per snapshot; per-query r_i estimates are extracted
+  // from it instead of re-running the analytic model n times.
+  auto forecast = pis_->multi()->ForecastAll();
+  snapshot->quiescent_eta =
+      forecast.ok() ? forecast->quiescent_time() : kUnknown;
+
+  const auto infos = db_->AllQueries();  // sorted by id
+  snapshot->queries.reserve(infos.size());
+  for (const auto& info : infos) {
+    QueryProgress query;
+    query.id = info.id;
+    auto owner = query_owner_.find(info.id);
+    if (owner != query_owner_.end()) query.session_id = owner->second;
+    query.label = info.label;
+    query.state = info.state;
+    query.priority = info.priority;
+    query.weight = info.weight;
+    query.completed_work = info.completed_work;
+    query.remaining_cost = info.estimated_remaining_cost;
+    query.arrival_time = info.arrival_time;
+    query.start_time = info.start_time;
+    query.finish_time = info.finish_time;
+    const double total = info.completed_work + info.estimated_remaining_cost;
+    query.fraction_done =
+        total > 0.0 ? info.completed_work / total : 0.0;
+    query.speed = pis_->SpeedOf(info.id);
+
+    switch (info.state) {
+      case sched::QueryState::kFinished:
+        query.fraction_done = 1.0;
+        query.remaining_cost = 0.0;
+        [[fallthrough]];
+      case sched::QueryState::kAborted:
+        query.eta_single = 0.0;
+        query.eta_multi = 0.0;
+        break;
+      case sched::QueryState::kBlocked:
+        query.eta_single = kInfiniteTime;
+        query.eta_multi = kInfiniteTime;
+        break;
+      case sched::QueryState::kQueued: {
+        auto position = queue_position.find(info.id);
+        if (position != queue_position.end()) {
+          query.queue_position = position->second;
+        }
+        [[fallthrough]];
+      }
+      case sched::QueryState::kRunning: {
+        query.eta_single = pis_->EstimateSingle(info.id).value_or(kUnknown);
+        if (forecast.ok()) {
+          query.eta_multi =
+              forecast->FinishTimeOf(info.id).value_or(kUnknown);
+        }
+        break;
+      }
+    }
+
+    switch (info.state) {
+      case sched::QueryState::kRunning:
+        ++snapshot->num_running;
+        break;
+      case sched::QueryState::kQueued:
+        ++snapshot->num_queued;
+        break;
+      case sched::QueryState::kBlocked:
+        ++snapshot->num_blocked;
+        break;
+      default:
+        break;
+    }
+    snapshot->queries.push_back(std::move(query));
+  }
+  return snapshot;
+}
+
+void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot->sequence = ++published_;
+    snapshot_ = std::move(snapshot);
+  }
+  publish_wall_ns_.store(WallClock::now().time_since_epoch().count(),
+                         std::memory_order_release);
+  snapshots_published_->Increment();
+}
+
+void PiService::PublishNow() {
+  std::shared_ptr<ProgressSnapshot> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    snapshot = BuildSnapshotLocked();
+  }
+  Publish(std::move(snapshot));
+}
+
+SnapshotPtr PiService::snapshot() const {
+  SnapshotPtr snapshot;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot = snapshot_;
+  }
+  snapshot_reads_->Increment();
+  const auto published =
+      publish_wall_ns_.load(std::memory_order_acquire);
+  const auto now = WallClock::now().time_since_epoch().count();
+  if (published != 0 && now > published) {
+    snapshot_age_ms_->Observe(
+        std::chrono::duration<double, std::milli>(
+            WallClock::duration(now - published))
+            .count());
+  }
+  return snapshot;
+}
+
+// ---- ticker -----------------------------------------------------------------
+
+void PiService::Start() {
+  if (ticker_.joinable()) return;
+  stop_.store(false, std::memory_order_release);
+  ticker_ = std::thread([this] { TickerLoop(); });
+}
+
+void PiService::Stop() {
+  stop_.store(true, std::memory_order_release);
+  wake_cv_.notify_all();
+  if (ticker_.joinable()) ticker_.join();
+  ticker_ = std::thread();
+}
+
+void PiService::NotifyWork() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.notify_all();
+}
+
+void PiService::TickerLoop() {
+  const SimTime quantum = options_.rdbms.quantum;
+  auto next_tick = WallClock::now();
+  while (!stop_requested()) {
+    std::uint64_t seen_epoch;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      seen_epoch = work_epoch_;
+    }
+    bool idle;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      idle = IdleLocked();
+    }
+    if (idle && options_.pause_when_idle) {
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               work_epoch_ != seen_epoch;
+      });
+      // Don't try to "catch up" wall time spent parked.
+      next_tick = WallClock::now();
+      continue;
+    }
+
+    StepAndPublish(quantum);
+
+    if (options_.time_scale > 0.0) {
+      next_tick += std::chrono::duration_cast<WallClock::duration>(
+          std::chrono::duration<double>(quantum / options_.time_scale));
+      std::unique_lock<std::mutex> lock(wake_mu_);
+      wake_cv_.wait_until(lock, next_tick, [&] {
+        return stop_.load(std::memory_order_acquire);
+      });
+    }
+  }
+}
+
+// ---- manual mode ------------------------------------------------------------
+
+Status PiService::Advance(SimTime dt) {
+  if (ticker_.joinable()) {
+    return Status::FailedPrecondition(
+        "Advance() is for manual mode; a ticker thread is running");
+  }
+  if (dt < 0.0) return Status::InvalidArgument("dt must be >= 0");
+  const SimTime quantum = options_.rdbms.quantum;
+  SimTime remaining = dt;
+  while (remaining > kTimeEpsilon) {
+    const SimTime step = std::min(remaining, quantum);
+    StepAndPublish(step);
+    remaining -= step;
+  }
+  return Status::OK();
+}
+
+Result<SimTime> PiService::AdvanceUntilIdle(SimTime deadline) {
+  if (ticker_.joinable()) {
+    return Status::FailedPrecondition(
+        "AdvanceUntilIdle() is for manual mode; a ticker thread is running");
+  }
+  const SimTime quantum = options_.rdbms.quantum;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (IdleLocked()) break;
+      if (db_->now() >= deadline - kTimeEpsilon) break;
+    }
+    StepAndPublish(quantum);
+  }
+  return now();
+}
+
+bool PiService::WaitUntilIdle(double timeout_seconds) {
+  const auto deadline =
+      WallClock::now() + std::chrono::duration_cast<WallClock::duration>(
+                             std::chrono::duration<double>(timeout_seconds));
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      if (IdleLocked()) return true;
+    }
+    // A stopped ticker can never drain the system.
+    if (!ticker_.joinable() || stop_requested()) {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      return IdleLocked();
+    }
+    if (WallClock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+// ---- point-in-time reads ----------------------------------------------------
+
+SimTime PiService::now() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return db_->now();
+}
+
+bool PiService::Idle() const {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return IdleLocked();
+}
+
+Result<std::string> PiService::Explain(const engine::QuerySpec& spec) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return db_->planner()->Explain(spec);
+}
+
+void PiService::SetAdmissionOpen(bool open) {
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    db_->SetAdmissionOpen(open);
+  }
+  if (open) NotifyWork();
+}
+
+}  // namespace mqpi::service

@@ -1,0 +1,250 @@
+// PiService: the concurrent multi-session frontend over the engine —
+// the first step from "simulator" to "server".
+//
+// One PiService owns an Rdbms, a PiManager (auto-tracking every
+// submission), an optional FutureWorkloadModel, and a MetricsRegistry,
+// and drives them from a dedicated *ticker thread*: each tick advances
+// the simulated clock by one quantum (paced against wall time by
+// `time_scale`, or flat out when it is 0), feeds the progress
+// indicators, and publishes an immutable ProgressSnapshot.
+//
+// Thread-safety contract:
+//   - All engine and PI state is guarded by one internal mutex
+//     (`state_mu_`); session control calls (Submit/Block/Resume/Abort/
+//     SetPriority) serialize against the ticker on it. These calls are
+//     cheap relative to a quantum, so contention stays low.
+//   - Estimate *reads* never touch `state_mu_`: `snapshot()` copies a
+//     `shared_ptr` under a dedicated pointer lock that is only ever
+//     held for the copy/swap itself — never during `Rdbms::Step` — so
+//     any number of dashboard/WLM readers can poll at any rate without
+//     slowing execution (enforced by the TSan stress test).
+//   - Metrics are atomics / short per-instrument locks, updatable from
+//     any thread.
+//
+// Sessions (see service/session.h) are per-client handles with query
+// ownership and admission accounting; open them with OpenSession().
+// Sessions must be closed or destroyed before the service.
+//
+// Two driving modes:
+//   - ticker mode (`start_ticker` true, the default): a background
+//     thread steps the engine; Start()/Stop() control it. The ticker
+//     parks itself while the system is idle and wakes on submission.
+//   - manual mode (`start_ticker` false): no thread; the owner calls
+//     Advance(dt) to step synchronously — deterministic, for shells
+//     and tests.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "pi/future_model.h"
+#include "pi/pi_manager.h"
+#include "sched/rdbms.h"
+#include "service/metrics.h"
+#include "service/snapshot.h"
+
+namespace mqpi::service {
+
+class Session;
+
+struct PiServiceOptions {
+  /// Engine configuration (rate C, quantum, MPL, perturbations...).
+  sched::RdbmsOptions rdbms;
+  /// Progress-indicator configuration; `auto_track` is forced on so
+  /// every submission gets a single-query PI.
+  pi::PiManagerOptions pi;
+  /// §2.4 prior (lambda, c-bar, p-bar); lambda == 0 disables arrival
+  /// forecasting entirely.
+  pi::FutureWorkloadEstimate future_prior;
+  /// > 0 makes the future model adaptive with this prior strength.
+  double future_prior_strength = 0.0;
+  /// Simulated seconds advanced per wall-clock second by the ticker;
+  /// 0 means "as fast as possible" (tests, batch runs).
+  double time_scale = 0.0;
+  /// false = manual mode: no ticker thread, drive with Advance().
+  bool start_ticker = true;
+  /// Ticker parks while nothing is running, queued, or scheduled
+  /// (instead of burning CPU advancing an empty clock).
+  bool pause_when_idle = true;
+  /// Closing a session aborts its still-live queries (and drops its
+  /// scheduled arrivals either way).
+  bool abort_queries_on_session_close = true;
+  /// Per-session cap on concurrently live (non-terminal) queries;
+  /// Submit fails with FailedPrecondition at the cap. 0 = unlimited.
+  std::uint64_t max_inflight_per_session = 0;
+};
+
+class PiService {
+ public:
+  /// `catalog` must outlive the service. Starts the ticker thread
+  /// unless `options.start_ticker` is false.
+  explicit PiService(const storage::Catalog* catalog,
+                     PiServiceOptions options = {});
+  /// Stops the ticker. Open sessions must already be closed/destroyed.
+  ~PiService();
+
+  PiService(const PiService&) = delete;
+  PiService& operator=(const PiService&) = delete;
+
+  // ---- sessions -------------------------------------------------------------
+
+  /// Opens a client session. The returned handle is safe to use from
+  /// one client thread at a time; different sessions are independent.
+  std::unique_ptr<Session> OpenSession(std::string name = "");
+
+  // ---- ticker control -------------------------------------------------------
+
+  /// Starts the ticker if not running (no-op in manual mode after the
+  /// constructor already started it per options).
+  void Start();
+  /// Stops and joins the ticker; queries keep their state and a final
+  /// snapshot stays readable. Safe to call with queries still running.
+  void Stop();
+  bool ticking() const { return ticker_.joinable() && !stop_requested(); }
+
+  /// Manual mode only: synchronously advance simulated time by `dt`,
+  /// submitting due scheduled arrivals, feeding PIs, and publishing
+  /// snapshots per quantum. FailedPrecondition while a ticker runs.
+  Status Advance(SimTime dt);
+
+  /// Manual mode convenience: Advance one quantum at a time until
+  /// idle or `deadline` (simulated). Returns final simulated time.
+  Result<SimTime> AdvanceUntilIdle(SimTime deadline = kInfiniteTime);
+
+  /// Blocks the calling thread until the system is idle (no running,
+  /// queued, or scheduled work) or `timeout` wall seconds elapse.
+  /// Returns whether the system is idle. Ticker mode only.
+  bool WaitUntilIdle(double timeout_seconds);
+
+  // ---- reads (never block the ticker's Step) --------------------------------
+
+  /// The latest published snapshot; never null (sequence 0 before the
+  /// first tick). O(1): a shared_ptr copy under a pointer-only lock.
+  SnapshotPtr snapshot() const;
+
+  /// Builds and publishes a fresh snapshot without advancing time —
+  /// lets manual-mode dashboards observe submissions and control
+  /// operations between Advance() calls.
+  void PublishNow();
+
+  MetricsRegistry* metrics() { return &metrics_; }
+  const PiServiceOptions& options() const { return options_; }
+
+  // ---- point-in-time engine reads (take the state lock) ---------------------
+
+  SimTime now() const;
+  bool Idle() const;
+  /// Plan a spec without executing it (shell's `explain`).
+  Result<std::string> Explain(const engine::QuerySpec& spec);
+  /// Admission-queue gate (maintenance operation O1).
+  void SetAdmissionOpen(bool open);
+
+ private:
+  friend class Session;
+
+  struct SessionState {
+    std::uint64_t id = 0;
+    std::string name;
+    std::unordered_set<QueryId> live;
+    std::uint64_t submitted = 0;
+    std::uint64_t finished = 0;
+    std::uint64_t aborted = 0;
+  };
+
+  struct ScheduledSubmit {
+    SimTime time = 0.0;
+    std::uint64_t session_id = 0;
+    engine::QuerySpec spec;
+    Priority priority = Priority::kNormal;
+  };
+  struct ScheduledLater {
+    bool operator()(const ScheduledSubmit& a,
+                    const ScheduledSubmit& b) const {
+      return a.time > b.time;  // min-heap on arrival time
+    }
+  };
+
+  // Session-facing entry points (Session forwards here with its id).
+  Result<QueryId> SessionSubmit(std::uint64_t session_id,
+                                const engine::QuerySpec& spec,
+                                Priority priority);
+  Status SessionSubmitAt(std::uint64_t session_id, SimTime time,
+                         engine::QuerySpec spec, Priority priority);
+  Status SessionControl(std::uint64_t session_id, QueryId id,
+                        sched::QueryEventKind op, Priority priority);
+  Status CloseSession(std::uint64_t session_id);
+  Result<std::uint64_t> SessionLiveCount(std::uint64_t session_id) const;
+
+  // Requires state_mu_. Returns the session or nullptr.
+  SessionState* FindSessionLocked(std::uint64_t session_id);
+  // Requires state_mu_. Ownership check for control operations.
+  Status CheckOwnedLocked(std::uint64_t session_id, QueryId id) const;
+
+  // Requires state_mu_. Submits every scheduled arrival due at `now`.
+  void SubmitDueArrivalsLocked();
+  // Requires state_mu_. True when nothing can make progress.
+  bool IdleLocked() const;
+
+  // Steps one quantum (or `dt`) and publishes a snapshot. Grabs
+  // state_mu_ itself.
+  void StepAndPublish(SimTime dt);
+  // Requires state_mu_.
+  std::shared_ptr<ProgressSnapshot> BuildSnapshotLocked() const;
+  void Publish(std::shared_ptr<ProgressSnapshot> snapshot);
+
+  void TickerLoop();
+  void NotifyWork();
+  bool stop_requested() const {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  const PiServiceOptions options_;
+
+  // Engine + PI state; everything below state_mu_ is guarded by it.
+  mutable std::mutex state_mu_;
+  std::unique_ptr<sched::Rdbms> db_;
+  std::unique_ptr<pi::FutureWorkloadModel> future_;
+  std::unique_ptr<pi::PiManager> pis_;
+  std::priority_queue<ScheduledSubmit, std::vector<ScheduledSubmit>,
+                      ScheduledLater>
+      arrivals_;
+  std::unordered_map<std::uint64_t, SessionState> sessions_;
+  std::unordered_map<QueryId, std::uint64_t> query_owner_;
+  std::uint64_t next_session_id_ = 1;
+
+  // Published snapshot; snapshot_mu_ is held only for the pointer
+  // copy/swap, never across engine work.
+  mutable std::mutex snapshot_mu_;
+  SnapshotPtr snapshot_;
+  std::uint64_t published_ = 0;
+  std::atomic<std::chrono::steady_clock::rep> publish_wall_ns_{0};
+
+  // Ticker machinery.
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::uint64_t work_epoch_ = 0;  // guarded by wake_mu_
+  std::atomic<bool> stop_{false};
+  std::thread ticker_;
+
+  MetricsRegistry metrics_;
+  // Hot-path instruments, resolved once.
+  Counter* quanta_stepped_;
+  Counter* snapshots_published_;
+  Counter* snapshot_reads_;
+  Histogram* step_wall_ms_;
+  Histogram* snapshot_age_ms_;
+};
+
+}  // namespace mqpi::service

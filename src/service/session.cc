@@ -1,0 +1,84 @@
+#include "service/session.h"
+
+#include <utility>
+
+#include "service/pi_service.h"
+
+namespace mqpi::service {
+
+Session::Session(PiService* service, std::uint64_t id, std::string name)
+    : service_(service), id_(id), name_(std::move(name)) {}
+
+Session::~Session() { Close(); }
+
+Result<QueryId> Session::Submit(const engine::QuerySpec& spec,
+                                Priority priority) {
+  if (closed()) return Status::FailedPrecondition("session closed");
+  return service_->SessionSubmit(id_, spec, priority);
+}
+
+Status Session::SubmitAt(SimTime time, engine::QuerySpec spec,
+                         Priority priority) {
+  if (closed()) return Status::FailedPrecondition("session closed");
+  return service_->SessionSubmitAt(id_, time, std::move(spec), priority);
+}
+
+std::uint64_t Session::LiveQueries() const {
+  if (closed()) return 0;
+  return service_->SessionLiveCount(id_).value_or(0);
+}
+
+Result<QueryProgress> Session::Progress(QueryId id) const {
+  const SnapshotPtr snapshot = service_->snapshot();
+  const QueryProgress* query = snapshot->Find(id);
+  if (query == nullptr) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " not in snapshot " +
+                            std::to_string(snapshot->sequence));
+  }
+  return *query;
+}
+
+std::vector<QueryProgress> Session::ListQueries() const {
+  std::vector<QueryProgress> out;
+  const SnapshotPtr snapshot = service_->snapshot();
+  for (const auto& query : snapshot->queries) {
+    if (query.session_id == id_) out.push_back(query);
+  }
+  return out;
+}
+
+SnapshotPtr Session::snapshot() const { return service_->snapshot(); }
+
+Status Session::Block(QueryId id) {
+  if (closed()) return Status::FailedPrecondition("session closed");
+  return service_->SessionControl(id_, id, sched::QueryEventKind::kBlocked,
+                                  Priority::kNormal);
+}
+
+Status Session::Resume(QueryId id) {
+  if (closed()) return Status::FailedPrecondition("session closed");
+  return service_->SessionControl(id_, id, sched::QueryEventKind::kResumed,
+                                  Priority::kNormal);
+}
+
+Status Session::Abort(QueryId id) {
+  if (closed()) return Status::FailedPrecondition("session closed");
+  return service_->SessionControl(id_, id, sched::QueryEventKind::kAborted,
+                                  Priority::kNormal);
+}
+
+Status Session::SetPriority(QueryId id, Priority priority) {
+  if (closed()) return Status::FailedPrecondition("session closed");
+  return service_->SessionControl(
+      id_, id, sched::QueryEventKind::kPriorityChanged, priority);
+}
+
+Status Session::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) {
+    return Status::OK();
+  }
+  return service_->CloseSession(id_);
+}
+
+}  // namespace mqpi::service

@@ -1,0 +1,18 @@
+#include "service/traffic.h"
+
+#include "service/session.h"
+
+namespace mqpi::service {
+
+Status ReplaySchedule(Session* session,
+                      const workload::ZipfWorkload& workload,
+                      const std::vector<workload::ScheduledArrival>& schedule,
+                      Priority priority) {
+  for (const auto& arrival : schedule) {
+    MQPI_RETURN_NOT_OK(session->SubmitAt(
+        arrival.time, workload.SpecForRank(arrival.rank), priority));
+  }
+  return Status::OK();
+}
+
+}  // namespace mqpi::service

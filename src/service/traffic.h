@@ -1,0 +1,25 @@
+// Traffic: bridges the workload layer's pre-generated arrival schedules
+// (Poisson arrivals over a Zipf query mix, §5.2.3) onto a live service
+// session — the same traces the simulation runner replays offline
+// become concurrent service traffic.
+#pragma once
+
+#include "common/priority.h"
+#include "common/status.h"
+#include "workload/arrival_schedule.h"
+#include "workload/zipf_workload.h"
+
+namespace mqpi::service {
+
+class Session;
+
+/// Schedules every arrival in `schedule` onto `session` (the ticker
+/// submits each one when its simulated time comes due; the queries then
+/// belong to the session). Returns the first scheduling error; entries
+/// already scheduled stay scheduled.
+Status ReplaySchedule(Session* session,
+                      const workload::ZipfWorkload& workload,
+                      const std::vector<workload::ScheduledArrival>& schedule,
+                      Priority priority = Priority::kNormal);
+
+}  // namespace mqpi::service

@@ -278,7 +278,13 @@ TEST(PiManagerTest, UntrackedQueryHasEmptyTrace) {
   sched::Rdbms db(&catalog, CleanOptions());
   PiManager pis(&db);
   EXPECT_TRUE(pis.Trace(77).empty());
-  EXPECT_TRUE(pis.EstimateSingle(77).status().IsNotFound());
+  // Untracked ids are not an error — they report "unknown" so callers
+  // need no Track()-before-sample ordering (service sessions poll
+  // arbitrary ids).
+  auto untracked = pis.EstimateSingle(77);
+  ASSERT_TRUE(untracked.ok());
+  EXPECT_EQ(*untracked, kUnknown);
+  EXPECT_EQ(pis.SpeedOf(77), 0.0);
 }
 
 TEST(PiManagerTest, QueueBlindVariantRecorded) {
