@@ -5,7 +5,10 @@
 // positions, and the forecast quiescent time, without ever touching the
 // engine lock. Extra traffic arrives mid-run from a replayed Poisson
 // schedule, exactly the §5.2.3 setup but flowing through a session.
-// Exits with a dump of the service metrics registry.
+// Runtime tracing is on for the whole run; the process exits with the
+// estimate-accuracy report, the service metrics registry, and a Chrome
+// trace file (mqpi_dashboard_trace.json — open in chrome://tracing or
+// https://ui.perfetto.dev).
 
 #include <chrono>
 #include <cstdio>
@@ -38,6 +41,22 @@ std::string Eta(double seconds) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
   return buf;
+}
+
+void RenderAccuracy(const obs::EstimateAuditor& auditor) {
+  const obs::AccuracyAggregate agg = auditor.Aggregate();
+  if (agg.queries_scored == 0) return;
+  auto pct = [](double v) -> std::string {
+    if (v == kUnknown) return "?";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f%%", 100.0 * v);
+    return buf;
+  };
+  std::printf("accuracy over %llu finished: single MAPE %s | multi MAPE %s "
+              "| live %zu\n",
+              static_cast<unsigned long long>(agg.queries_scored),
+              pct(agg.mean_mape_single).c_str(),
+              pct(agg.mean_mape_multi).c_str(), auditor.live_queries());
 }
 
 void Render(const service::ProgressSnapshot& snap) {
@@ -85,6 +104,7 @@ int main() {
   options.future_prior_strength = 4.0;  // adapt as real arrivals land
   options.time_scale = 60.0;  // 60 simulated seconds per wall second
   service::PiService service(&catalog, options);
+  service.tracer()->set_enabled(true);
 
   auto session = service.OpenSession("dashboard-loadgen");
   Rng rng(99);
@@ -111,6 +131,7 @@ int main() {
   // Pure reader loop: snapshot polls only, engine never locked.
   for (int frame = 0; frame < 60 && !service.Idle(); ++frame) {
     Render(*service.snapshot());
+    RenderAccuracy(*service.auditor());
     std::this_thread::sleep_for(std::chrono::milliseconds(250));
   }
   service.WaitUntilIdle(/*timeout_seconds=*/120.0);
@@ -118,8 +139,17 @@ int main() {
   session->Close();
   service.Stop();
 
-  std::printf("\nAll queries finished at t = %.1f s. Metrics:\n\n%s",
+  std::printf("\nAll queries finished at t = %.1f s.\n\n%s\nMetrics:\n\n%s",
               service.snapshot()->sim_time,
+              service.auditor()->RenderText().c_str(),
               service.metrics()->TextDump().c_str());
+
+  const std::string trace_path = "mqpi_dashboard_trace.json";
+  if (auto s = service.tracer()->WriteChromeTrace(trace_path); s.ok()) {
+    std::printf("\ntrace: %zu events -> %s (open in chrome://tracing)\n",
+                service.tracer()->Events().size(), trace_path.c_str());
+  } else {
+    std::fprintf(stderr, "trace export failed: %s\n", s.ToString().c_str());
+  }
   return 0;
 }

@@ -28,7 +28,13 @@
 //   block <id> / resume <id> / abort <id>   (session-owned queries only)
 //   priority <id> low|normal|high|critical
 //   run                             step until idle
-//   metrics                         dump the service metrics registry
+//   metrics [prom]                  dump the metrics registry (text or
+//                                   Prometheus exposition format)
+//   accuracy                        estimate-accuracy report (auditor)
+//   trace on|off                    toggle runtime tracing
+//   trace save <path>               write a Chrome trace_event JSON file
+//   trace jsonl <path>              write the trace as JSONL
+//   trace clear                     drop buffered trace events
 //   quit
 
 #include <cstdio>
@@ -200,7 +206,46 @@ int main() {
       continue;
     }
     if (cmd == "metrics") {
-      std::printf("%s", shell.db->metrics()->TextDump().c_str());
+      std::string format;
+      is >> format;
+      std::printf("%s", format == "prom"
+                            ? shell.db->metrics()->PrometheusDump().c_str()
+                            : shell.db->metrics()->TextDump().c_str());
+      continue;
+    }
+    if (cmd == "accuracy") {
+      std::printf("%s", shell.db->auditor()->RenderText().c_str());
+      continue;
+    }
+    if (cmd == "trace") {
+      std::string sub;
+      is >> sub;
+      obs::Tracer* tracer = shell.db->tracer();
+      if (sub == "on" || sub == "off") {
+        tracer->set_enabled(sub == "on");
+        std::printf("tracing %s\n", sub.c_str());
+      } else if (sub == "clear") {
+        tracer->Clear();
+        std::printf("ok\n");
+      } else if (sub == "save" || sub == "jsonl") {
+        std::string path;
+        is >> path;
+        if (path.empty()) {
+          std::printf("usage: trace %s <path>\n", sub.c_str());
+          continue;
+        }
+        const Status status = sub == "save" ? tracer->WriteChromeTrace(path)
+                                            : tracer->WriteJsonl(path);
+        if (status.ok()) {
+          std::printf("wrote %zu events to %s (%llu dropped)\n",
+                      tracer->Events().size(), path.c_str(),
+                      static_cast<unsigned long long>(tracer->dropped()));
+        } else {
+          std::printf("error: %s\n", status.ToString().c_str());
+        }
+      } else {
+        std::printf("usage: trace on|off|clear|save <path>|jsonl <path>\n");
+      }
       continue;
     }
     if (cmd == "block" || cmd == "resume" || cmd == "abort") {

@@ -7,6 +7,9 @@
 //   wlm      - speed-up and scheduled-maintenance algorithms
 //   workload - Zipf query mixes and Poisson arrival schedules
 //   sim      - simulation runner, traces, series reporting
+//   obs      - observability: lock-striped runtime tracer (Chrome
+//              trace_event / JSONL export) and the estimate-accuracy
+//              auditor that scores PI trajectories against ground truth
 //   service  - concurrent multi-session frontend: PiService owns the
 //              engine + PIs and drives them from a ticker thread;
 //              Session is the per-client handle (submit / control own
@@ -14,8 +17,9 @@
 //              immutable ProgressSnapshot that any number of reader
 //              threads consume without blocking the stepping thread
 //              (shared_ptr swap under a pointer-only lock); a
-//              MetricsRegistry exports counters/gauges/histograms as a
-//              text dump. Everything below `service` is single-threaded
+//              MetricsRegistry exports (optionally labeled) counters/
+//              gauges/histograms as a text dump or Prometheus text
+//              exposition. Everything below `service` is single-threaded
 //              and externally synchronized by PiService's state lock.
 #pragma once
 
@@ -26,6 +30,8 @@
 #include "common/units.h"       // IWYU pragma: export
 #include "engine/planner.h"     // IWYU pragma: export
 #include "engine/sql_parser.h"  // IWYU pragma: export
+#include "obs/auditor.h"        // IWYU pragma: export
+#include "obs/tracer.h"         // IWYU pragma: export
 #include "pi/analytic_simulator.h"  // IWYU pragma: export
 #include "pi/multi_query_pi.h"  // IWYU pragma: export
 #include "pi/pi_manager.h"      // IWYU pragma: export

@@ -1,5 +1,7 @@
 #include "pi/pi_manager.h"
 
+#include "obs/tracer.h"
+
 namespace mqpi::pi {
 
 namespace {
@@ -11,7 +13,10 @@ MultiQueryPiOptions QueueBlind(MultiQueryPiOptions options) {
 
 PiManager::PiManager(sched::Rdbms* db, PiManagerOptions options,
                      FutureWorkloadModel* future)
-    : db_(db), options_(options), multi_(db, options.multi, future) {
+    : db_(db),
+      options_(options),
+      tracer_(obs::GlobalTracer()),
+      multi_(db, options.multi, future) {
   if (options_.record_queue_blind_variant) {
     multi_blind_ =
         std::make_unique<MultiQueryPi>(db, QueueBlind(options.multi), future);
@@ -75,6 +80,9 @@ std::vector<PiManager::ProgressRow> PiManager::Report() const {
 }
 
 void PiManager::AfterStep() {
+  obs::TraceSpan span(tracer_, "pi", "after_step");
+  span.arg("t", db_->now());
+  span.arg("tracked", static_cast<double>(singles_.size()));
   multi_.ObserveStep();
   if (multi_blind_) multi_blind_->ObserveStep();
 

@@ -17,6 +17,10 @@
 #include "pi/single_query_pi.h"
 #include "sched/rdbms.h"
 
+namespace mqpi::obs {
+class Tracer;
+}  // namespace mqpi::obs
+
 namespace mqpi::pi {
 
 struct EstimateSample {
@@ -105,6 +109,7 @@ class PiManager {
  private:
   const sched::Rdbms* db_;
   PiManagerOptions options_;
+  obs::Tracer* tracer_;  // the process-wide tracer, cached
   MultiQueryPi multi_;
   std::unique_ptr<MultiQueryPi> multi_blind_;
   std::map<QueryId, SingleQueryPi> singles_;

@@ -4,7 +4,34 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/tracer.h"
+
 namespace mqpi::sched {
+
+namespace {
+
+// Literal-backed names for trace events (TraceEvent stores pointers).
+const char* TraceEventName(QueryEventKind kind) {
+  switch (kind) {
+    case QueryEventKind::kSubmitted:
+      return "submitted";
+    case QueryEventKind::kStarted:
+      return "started";
+    case QueryEventKind::kBlocked:
+      return "blocked";
+    case QueryEventKind::kResumed:
+      return "resumed";
+    case QueryEventKind::kFinished:
+      return "finished";
+    case QueryEventKind::kAborted:
+      return "aborted";
+    case QueryEventKind::kPriorityChanged:
+      return "priority_changed";
+  }
+  return "unknown";
+}
+
+}  // namespace
 
 std::string_view QueryEventKindName(QueryEventKind kind) {
   switch (kind) {
@@ -61,6 +88,7 @@ struct Rdbms::Record {
 Rdbms::Rdbms(const storage::Catalog* catalog, RdbmsOptions options)
     : catalog_(catalog),
       options_(options),
+      tracer_(obs::GlobalTracer()),
       buffers_(std::make_unique<storage::BufferManager>(options.buffer)),
       planner_(std::make_unique<engine::Planner>(catalog, buffers_.get(),
                                                  options.cost_model)),
@@ -69,6 +97,10 @@ Rdbms::Rdbms(const storage::Catalog* catalog, RdbmsOptions options)
 Rdbms::~Rdbms() = default;
 
 void Rdbms::Emit(QueryEventKind kind, const Record& record) {
+  if (tracer_->enabled()) {
+    tracer_->Instant("query", TraceEventName(kind), record.id, "t",
+                     clock_.now());
+  }
   if (event_listeners_.empty()) return;
   QueryEvent event;
   event.kind = kind;
@@ -84,6 +116,7 @@ Rdbms::Record* Rdbms::Find(QueryId id) {
 
 Result<QueryId> Rdbms::Submit(const engine::QuerySpec& spec,
                               Priority priority) {
+  obs::TraceSpan span(tracer_, "rdbms", "submit");
   auto prepared = planner_->Prepare(spec);
   if (!prepared.ok()) return prepared.status();
 
@@ -234,6 +267,8 @@ void Rdbms::Step(SimTime dt) {
 }
 
 void Rdbms::StepOnce(SimTime dt) {
+  obs::TraceSpan span(tracer_, "rdbms", "step");
+  span.arg("t", clock_.now());
   AdmitFromQueue();
 
   // Gather the active (running, unblocked) set and its total weight.
@@ -251,6 +286,8 @@ void Rdbms::StepOnce(SimTime dt) {
           record->speed_multiplier;
     }
   }
+
+  span.arg("active", static_cast<double>(active.size()));
 
   if (!active.empty() && total_weight > 0.0) {
     const double rate =

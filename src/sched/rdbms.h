@@ -35,6 +35,10 @@
 #include "sched/perturbation.h"
 #include "storage/catalog.h"
 
+namespace mqpi::obs {
+class Tracer;
+}  // namespace mqpi::obs
+
 namespace mqpi::sched {
 
 enum class QueryState {
@@ -213,6 +217,7 @@ class Rdbms {
 
   const storage::Catalog* catalog_;
   RdbmsOptions options_;
+  obs::Tracer* tracer_;  // the process-wide tracer, cached
   SimClock clock_;
   std::unique_ptr<storage::BufferManager> buffers_;
   std::unique_ptr<engine::Planner> planner_;

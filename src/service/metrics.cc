@@ -14,6 +14,58 @@ std::string FormatDouble(double v) {
   return buf;
 }
 
+Labels Canonical(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+/// "k=v,k2=v2" — the within-family map key and the TextDump suffix.
+std::string LabelKey(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ",";
+    out += k + "=" + v;
+  }
+  return out;
+}
+
+/// Dots are the only character our dotted.lowercase convention uses
+/// that Prometheus metric names disallow.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  std::replace(out.begin(), out.end(), '.', '_');
+  return out;
+}
+
+std::string PromEscape(const std::string& v) {
+  std::string out;
+  for (char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `k="v",k2="v2"` — no surrounding braces so callers can append `le`.
+std::string PromLabelBody(const Labels& labels) {
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ",";
+    out += k + "=\"" + PromEscape(v) + "\"";
+  }
+  return out;
+}
+
+std::string PromSeries(const std::string& name, const std::string& body) {
+  return body.empty() ? name : name + "{" + body + "}";
+}
+
 }  // namespace
 
 std::vector<double> Histogram::DefaultBounds() {
@@ -48,6 +100,11 @@ double Histogram::sum() const {
   return sum_;
 }
 
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
 double Histogram::max() const {
   std::lock_guard<std::mutex> lock(mu_);
   return max_;
@@ -64,15 +121,37 @@ double Histogram::Quantile(double quantile) const {
       seen += buckets_[i];
       continue;
     }
-    const double lo = i == 0 ? min_ : bounds_[i - 1];
-    const double hi = i < bounds_.size() ? bounds_[i] : max_;
+    // Interpolation endpoints clamped to the observed range: bucket
+    // bounds say nothing about where observations sit inside them, and
+    // the overflow bucket has no upper bound at all — its ceiling is
+    // the observed max.
+    double lo = i == 0 ? min_ : std::max(bounds_[i - 1], min_);
+    double hi = i < bounds_.size() ? std::min(bounds_[i], max_) : max_;
+    if (hi < lo) hi = lo;
     if (buckets_[i] == 0) return lo;
     const double within =
         (target - static_cast<double>(seen)) /
         static_cast<double>(buckets_[i]);
-    return lo + within * (hi - lo);
+    return std::clamp(lo + within * (hi - lo), min_, max_);
   }
   return max_;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.bounds = bounds_;
+  s.cumulative.reserve(buckets_.size());
+  std::uint64_t cumulative = 0;
+  for (std::uint64_t bucket : buckets_) {
+    cumulative += bucket;
+    s.cumulative.push_back(cumulative);
+  }
+  s.count = count_;
+  s.sum = sum_;
+  s.min = min_;
+  s.max = max_;
+  return s;
 }
 
 std::string Histogram::Render() const {
@@ -82,6 +161,7 @@ std::string Histogram::Render() const {
                     FormatDouble(count_ > 0
                                      ? sum_ / static_cast<double>(count_)
                                      : 0.0) +
+                    " min=" + FormatDouble(min_) +
                     " max=" + FormatDouble(max_);
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < bounds_.size(); ++i) {
@@ -94,39 +174,111 @@ std::string Histogram::Render() const {
   return out;
 }
 
-Counter* MetricsRegistry::counter(const std::string& name) {
+Counter* MetricsRegistry::counter(const std::string& name,
+                                  const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return slot.get();
+  Labels canon = Canonical(labels);
+  auto& series = counters_[name][LabelKey(canon)];
+  if (!series.instrument) {
+    series.labels = std::move(canon);
+    series.instrument = std::make_unique<Counter>();
+  }
+  return series.instrument.get();
 }
 
-Gauge* MetricsRegistry::gauge(const std::string& name) {
+Gauge* MetricsRegistry::gauge(const std::string& name, const Labels& labels) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return slot.get();
+  Labels canon = Canonical(labels);
+  auto& series = gauges_[name][LabelKey(canon)];
+  if (!series.instrument) {
+    series.labels = std::move(canon);
+    series.instrument = std::make_unique<Gauge>();
+  }
+  return series.instrument.get();
 }
 
-Histogram* MetricsRegistry::histogram(const std::string& name) {
+Histogram* MetricsRegistry::histogram(const std::string& name,
+                                      const Labels& labels,
+                                      std::vector<double> bounds) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto& slot = histograms_[name];
-  if (!slot) slot = std::make_unique<Histogram>();
-  return slot.get();
+  Labels canon = Canonical(labels);
+  auto& series = histograms_[name][LabelKey(canon)];
+  if (!series.instrument) {
+    series.labels = std::move(canon);
+    series.instrument = std::make_unique<Histogram>(
+        bounds.empty() ? Histogram::DefaultBounds() : std::move(bounds));
+  }
+  return series.instrument.get();
 }
 
 std::string MetricsRegistry::TextDump() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
-  for (const auto& [name, counter] : counters_) {
-    out += "counter   " + name + " " +
-           FormatDouble(static_cast<double>(counter->value())) + "\n";
+  const auto series_name = [](const std::string& name,
+                              const std::string& key) {
+    return key.empty() ? name : name + "{" + key + "}";
+  };
+  for (const auto& [name, family] : counters_) {
+    for (const auto& [key, series] : family) {
+      out += "counter   " + series_name(name, key) + " " +
+             FormatDouble(static_cast<double>(series.instrument->value())) +
+             "\n";
+    }
   }
-  for (const auto& [name, gauge] : gauges_) {
-    out += "gauge     " + name + " " + FormatDouble(gauge->value()) + "\n";
+  for (const auto& [name, family] : gauges_) {
+    for (const auto& [key, series] : family) {
+      out += "gauge     " + series_name(name, key) + " " +
+             FormatDouble(series.instrument->value()) + "\n";
+    }
   }
-  for (const auto& [name, histogram] : histograms_) {
-    out += "histogram " + name + " " + histogram->Render() + "\n";
+  for (const auto& [name, family] : histograms_) {
+    for (const auto& [key, series] : family) {
+      out += "histogram " + series_name(name, key) + " " +
+             series.instrument->Render() + "\n";
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::PrometheusDump() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : counters_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " counter\n";
+    for (const auto& [key, series] : family) {
+      out += PromSeries(prom, PromLabelBody(series.labels)) + " " +
+             FormatDouble(static_cast<double>(series.instrument->value())) +
+             "\n";
+    }
+  }
+  for (const auto& [name, family] : gauges_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    for (const auto& [key, series] : family) {
+      out += PromSeries(prom, PromLabelBody(series.labels)) + " " +
+             FormatDouble(series.instrument->value()) + "\n";
+    }
+  }
+  for (const auto& [name, family] : histograms_) {
+    const std::string prom = PromName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    for (const auto& [key, series] : family) {
+      const Histogram::Snapshot snap = series.instrument->snapshot();
+      const std::string base = PromLabelBody(series.labels);
+      const std::string sep = base.empty() ? "" : ",";
+      for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
+        out += prom + "_bucket{" + base + sep + "le=\"" +
+               FormatDouble(snap.bounds[i]) + "\"} " +
+               FormatDouble(static_cast<double>(snap.cumulative[i])) + "\n";
+      }
+      out += prom + "_bucket{" + base + sep + "le=\"+Inf\"} " +
+             FormatDouble(static_cast<double>(snap.count)) + "\n";
+      out += PromSeries(prom + "_sum", base) + " " + FormatDouble(snap.sum) +
+             "\n";
+      out += PromSeries(prom + "_count", base) + " " +
+             FormatDouble(static_cast<double>(snap.count)) + "\n";
+    }
   }
   return out;
 }

@@ -4,14 +4,26 @@
 // Instruments are created on first use (`registry.counter("name")`) and
 // live as long as the registry; the returned pointers are stable, so hot
 // paths cache them and update lock-free (counters and gauges are single
-// atomics; histograms take a short per-instrument mutex). `TextDump()`
-// renders every instrument in a flat, grep-friendly text format for the
-// dashboard example and for tests:
+// atomics; histograms take a short per-instrument mutex). Every lookup
+// may also carry labels — `histogram("pi.estimate_error",
+// {{"priority", "high"}})` — which key a distinct series within the
+// same named family, mirroring the Prometheus data model.
 //
-//   counter   service.quanta_stepped 1042
-//   gauge     queries.running 3
-//   histogram step.wall_ms count=1042 sum=96.1 mean=0.092 max=1.8
-//             le_0.25=820 le_1=1033 le_4=1042 ... inf=1042
+// Two renderings:
+//   - `TextDump()` — flat, grep-friendly lines for the dashboard
+//     example and tests. Unlabeled series render exactly as they always
+//     have; labeled series append `{k=v,...}` to the name:
+//
+//       counter   service.quanta_stepped 1042
+//       counter   wlm.blocks{priority=high} 3
+//       gauge     queries.running 3
+//       histogram step.wall_ms count=1042 sum=96.1 mean=0.092
+//                 min=0.01 max=1.8 le_0.25=820 ... inf=1042
+//
+//   - `PrometheusDump()` — the Prometheus text exposition format
+//     (`# TYPE` headers, `name{label="v"} value` samples, histogram
+//     `_bucket{le="..."}` cumulative series). Dots in names become
+//     underscores, the one transform needed for a legal metric name.
 #pragma once
 
 #include <atomic>
@@ -20,9 +32,14 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mqpi::service {
+
+/// Key/value pairs distinguishing series within a metric family.
+/// Order-insensitive: the registry canonicalises by sorting on key.
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 /// Monotonically increasing event count.
 class Counter {
@@ -58,14 +75,31 @@ class Histogram {
 
   std::uint64_t count() const;
   double sum() const;
+  double min() const;
   double max() const;
   /// Value below which `quantile` (in [0,1]) of observations fall,
-  /// linearly interpolated within its bucket; 0 when empty.
+  /// linearly interpolated within its bucket and clamped to the
+  /// observed [min, max] (the overflow bucket has no upper bound, so
+  /// interpolation there runs to the observed max); 0 when empty.
   double Quantile(double quantile) const;
 
   static std::vector<double> DefaultBounds();
 
-  /// "count=N sum=S mean=M max=X le_<b>=c ... inf=N".
+  /// Consistent point-in-time copy of the full state, for renderers
+  /// that need buckets and summary stats together.
+  struct Snapshot {
+    std::vector<double> bounds;
+    /// Cumulative counts per bound, plus the +Inf total at the end
+    /// (size = bounds.size() + 1).
+    std::vector<std::uint64_t> cumulative;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+  };
+  Snapshot snapshot() const;
+
+  /// "count=N sum=S mean=M min=L max=X le_<b>=c ... inf=N".
   std::string Render() const;
 
  private:
@@ -79,21 +113,42 @@ class Histogram {
 };
 
 /// Named instruments, created on demand. Thread-safe; instrument
-/// pointers remain valid for the registry's lifetime.
+/// pointers remain valid for the registry's lifetime. A (name, labels)
+/// pair identifies one series; the same name with different labels is
+/// the same family rendered as separate samples.
 class MetricsRegistry {
  public:
-  Counter* counter(const std::string& name);
-  Gauge* gauge(const std::string& name);
-  Histogram* histogram(const std::string& name);
+  Counter* counter(const std::string& name, const Labels& labels = {});
+  Gauge* gauge(const std::string& name, const Labels& labels = {});
+  /// `bounds` applies only when this call creates the series; later
+  /// lookups return the existing instrument regardless.
+  Histogram* histogram(const std::string& name, const Labels& labels = {},
+                       std::vector<double> bounds = {});
 
-  /// Every instrument, one per line, sorted by name within each kind.
+  /// Every series, one per line, sorted by name (then label set)
+  /// within each kind.
   std::string TextDump() const;
 
+  /// The Prometheus text exposition format: one `# TYPE` header per
+  /// family, then its samples. Histograms expand to `_bucket` series
+  /// (cumulative, with the `le` label and a `+Inf` terminator) plus
+  /// `_sum` and `_count`.
+  std::string PrometheusDump() const;
+
  private:
+  template <typename T>
+  struct Series {
+    Labels labels;  // canonical (sorted by key)
+    std::unique_ptr<T> instrument;
+  };
+  /// family name -> canonical label string -> series.
+  template <typename T>
+  using FamilyMap = std::map<std::string, std::map<std::string, Series<T>>>;
+
   mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  FamilyMap<Counter> counters_;
+  FamilyMap<Gauge> gauges_;
+  FamilyMap<Histogram> histograms_;
 };
 
 }  // namespace mqpi::service

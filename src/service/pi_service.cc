@@ -22,11 +22,35 @@ pi::PiManagerOptions ForceAutoTrack(pi::PiManagerOptions options) {
   return options;
 }
 
+/// The scheduler stamps finish times at quantum ends and estimates are
+/// sampled once per published snapshot, so truth and estimate are each
+/// only known to quantum resolution; score only the error above that.
+obs::AuditorOptions ResolveAuditorOptions(const PiServiceOptions& options) {
+  obs::AuditorOptions resolved = options.auditor;
+  if (resolved.truth_resolution <= 0.0) {
+    resolved.truth_resolution = 2.0 * options.rdbms.quantum;
+  }
+  return resolved;
+}
+
+/// Relative-error boundaries for the accuracy histograms: MAPE lives
+/// in [0, a few], not in millisecond space.
+std::vector<double> MapeBounds() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0};
+}
+
+/// Signed bias needs room below zero (optimistic underestimates).
+std::vector<double> BiasBounds() {
+  return {-1.0, -0.5, -0.2, -0.05, 0.0, 0.05, 0.2, 0.5, 1.0, 2.0};
+}
+
 }  // namespace
 
 PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
     : options_(std::move(options)),
-      db_(std::make_unique<sched::Rdbms>(catalog, options_.rdbms)) {
+      db_(std::make_unique<sched::Rdbms>(catalog, options_.rdbms)),
+      auditor_(ResolveAuditorOptions(options_)),
+      tracer_(obs::GlobalTracer()) {
   if (options_.future_prior.lambda > 0.0 ||
       options_.future_prior_strength > 0.0) {
     future_ = options_.future_prior_strength > 0.0
@@ -152,6 +176,10 @@ Result<QueryId> PiService::SessionSubmit(std::uint64_t session_id,
     ++session->submitted;
     query_owner_[id] = session_id;
     metrics_.counter("service.submits")->Increment();
+  }
+  if (tracer_->enabled()) {
+    tracer_->Instant("service", "session_submit", id, "session",
+                     static_cast<double>(session_id));
   }
   NotifyWork();
   return id;
@@ -281,6 +309,7 @@ void PiService::SubmitDueArrivalsLocked() {
 bool PiService::IdleLocked() const { return db_->Idle() && arrivals_.empty(); }
 
 void PiService::StepAndPublish(SimTime dt) {
+  obs::TraceSpan span(tracer_, "service", "step_and_publish");
   const auto start = WallClock::now();
   std::shared_ptr<ProgressSnapshot> snapshot;
   {
@@ -294,9 +323,54 @@ void PiService::StepAndPublish(SimTime dt) {
     metrics_.gauge("queries.blocked")->Set(snapshot->num_blocked);
     metrics_.gauge("service.sim_time")->Set(snapshot->sim_time);
   }
+  span.arg("t", snapshot->sim_time);
+  span.arg("queries", static_cast<double>(snapshot->queries.size()));
+  if (options_.enable_auditor) FeedAuditor(*snapshot);
   Publish(std::move(snapshot));
   quanta_stepped_->Increment();
   step_wall_ms_->Observe(MsSince(start));
+}
+
+void PiService::FeedAuditor(const ProgressSnapshot& snapshot) {
+  for (const QueryProgress& query : snapshot.queries) {
+    obs::EstimateObservation observation;
+    observation.id = query.id;
+    observation.time = snapshot.sim_time;
+    observation.eta_single = query.eta_single;
+    observation.eta_multi = query.eta_multi;
+    observation.priority = query.priority;
+    observation.arrival_time = query.arrival_time;
+    observation.terminal = query.terminal();
+    observation.finished = query.state == sched::QueryState::kFinished;
+    observation.finish_time = query.finish_time;
+    auto report = auditor_.Observe(observation);
+    if (report.has_value()) RecordAccuracyMetrics(*report);
+  }
+}
+
+void PiService::RecordAccuracyMetrics(const obs::QueryAccuracy& report) {
+  if (tracer_->enabled()) {
+    tracer_->Instant("audit", report.finished ? "query_scored" : "query_lost",
+                     report.id, "mape_multi", report.multi.mape);
+  }
+  if (!report.finished) return;  // aborted: no ground truth to score
+  const std::string priority(PriorityName(report.priority));
+  const auto record = [&](const char* estimator,
+                          const obs::EstimatorScore& score) {
+    const Labels labels{{"estimator", estimator}, {"priority", priority}};
+    if (score.samples > 0) {
+      metrics_.histogram("pi.estimate_mape", labels, MapeBounds())
+          ->Observe(score.mape);
+      metrics_.histogram("pi.estimate_bias", labels, BiasBounds())
+          ->Observe(score.bias);
+    }
+    metrics_.counter("pi.monotonicity_violations", {{"estimator", estimator}})
+        ->Increment(
+            static_cast<std::uint64_t>(score.monotonicity_violations));
+  };
+  record("single", report.single);
+  record("multi", report.multi);
+  metrics_.counter("pi.queries_scored")->Increment();
 }
 
 std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
@@ -388,14 +462,20 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
 }
 
 void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
+  std::uint64_t sequence;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot->sequence = ++published_;
+    sequence = snapshot->sequence;
     snapshot_ = std::move(snapshot);
   }
   publish_wall_ns_.store(WallClock::now().time_since_epoch().count(),
                          std::memory_order_release);
   snapshots_published_->Increment();
+  if (tracer_->enabled()) {
+    tracer_->Instant("service", "snapshot_published", kInvalidQueryId, "seq",
+                     static_cast<double>(sequence));
+  }
 }
 
 void PiService::PublishNow() {

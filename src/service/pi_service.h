@@ -49,6 +49,8 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/auditor.h"
+#include "obs/tracer.h"
 #include "pi/future_model.h"
 #include "pi/pi_manager.h"
 #include "sched/rdbms.h"
@@ -84,6 +86,12 @@ struct PiServiceOptions {
   /// Per-session cap on concurrently live (non-terminal) queries;
   /// Submit fails with FailedPrecondition at the cap. 0 = unlimited.
   std::uint64_t max_inflight_per_session = 0;
+  /// Feed every published snapshot to the estimate auditor and publish
+  /// labeled accuracy metrics (pi.estimate_mape, pi.estimate_bias,
+  /// pi.monotonicity_violations) when queries complete.
+  bool enable_auditor = true;
+  /// Auditor tuning: trajectory caps, convergence band, truth cutoff.
+  obs::AuditorOptions auditor;
 };
 
 class PiService {
@@ -140,6 +148,16 @@ class PiService {
   void PublishNow();
 
   MetricsRegistry* metrics() { return &metrics_; }
+
+  /// Estimate-accuracy auditor (internally locked; reading its reports
+  /// never touches the service's state lock).
+  obs::EstimateAuditor* auditor() { return &auditor_; }
+  const obs::EstimateAuditor* auditor() const { return &auditor_; }
+
+  /// The process-wide tracer every subsystem records into. Enable with
+  /// `tracer()->set_enabled(true)` before the run you want captured.
+  obs::Tracer* tracer() { return tracer_; }
+
   const PiServiceOptions& options() const { return options_; }
 
   // ---- point-in-time engine reads (take the state lock) ---------------------
@@ -200,6 +218,11 @@ class PiService {
   // Steps one quantum (or `dt`) and publishes a snapshot. Grabs
   // state_mu_ itself.
   void StepAndPublish(SimTime dt);
+  // Feeds a freshly built snapshot's rows to the auditor and publishes
+  // accuracy metrics for queries that just completed. The auditor is
+  // internally locked; called after state_mu_ is released.
+  void FeedAuditor(const ProgressSnapshot& snapshot);
+  void RecordAccuracyMetrics(const obs::QueryAccuracy& report);
   // Requires state_mu_.
   std::shared_ptr<ProgressSnapshot> BuildSnapshotLocked() const;
   void Publish(std::shared_ptr<ProgressSnapshot> snapshot);
@@ -245,6 +268,9 @@ class PiService {
   Counter* snapshot_reads_;
   Histogram* step_wall_ms_;
   Histogram* snapshot_age_ms_;
+
+  obs::EstimateAuditor auditor_;
+  obs::Tracer* tracer_;  // the process-wide tracer, cached
 };
 
 }  // namespace mqpi::service

@@ -1,5 +1,6 @@
 #include "sim/trace.h"
 
+#include <fstream>
 #include <ostream>
 
 namespace mqpi::sim {
@@ -48,6 +49,17 @@ void EventTrace::PrintCsv(std::ostream& os) const {
        << "," << event.info.completed_work << ","
        << event.info.estimated_remaining_cost << "\n";
   }
+}
+
+Status EventTrace::WriteFile(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return Status::InvalidArgument("cannot open '" + path + "' for write");
+  }
+  PrintCsv(file);
+  file.flush();
+  if (!file) return Status::InvalidArgument("write to '" + path + "' failed");
+  return Status::OK();
 }
 
 }  // namespace mqpi::sim

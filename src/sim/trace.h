@@ -4,8 +4,10 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "sched/rdbms.h"
 
 namespace mqpi::sim {
@@ -29,6 +31,9 @@ class EventTrace {
 
   /// CSV: time,kind,query,state,completed,remaining.
   void PrintCsv(std::ostream& os) const;
+
+  /// PrintCsv into a file; error when the file cannot be written.
+  Status WriteFile(const std::string& path) const;
 
   void Clear() { events_.clear(); }
 

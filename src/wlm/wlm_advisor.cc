@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/tracer.h"
+
 namespace mqpi::wlm {
 
 std::vector<pi::QueryLoad> WlmAdvisor::RunningLoads() const {
@@ -14,6 +16,8 @@ std::vector<pi::QueryLoad> WlmAdvisor::RunningLoads() const {
 }
 
 Result<SpeedupChoice> WlmAdvisor::SpeedUpQuery(QueryId target, int h) {
+  obs::TraceSpan span(obs::GlobalTracer(), "wlm", "speed_up_query", target);
+  span.arg("h", h);
   const auto loads = RunningLoads();
   SpeedupChoice choice;
   const bool uniform =
@@ -41,6 +45,7 @@ Result<SpeedupChoice> WlmAdvisor::SpeedUpQuery(QueryId target, int h) {
 }
 
 Result<MultiSpeedupChoice> WlmAdvisor::SpeedUpOthers() {
+  obs::TraceSpan span(obs::GlobalTracer(), "wlm", "speed_up_others");
   auto choice =
       MultiQuerySpeedup::ChooseVictim(RunningLoads(), db_->EffectiveRate());
   if (!choice.ok()) return choice.status();
@@ -66,6 +71,9 @@ Result<PriorityRaiseAdvice> WlmAdvisor::SpeedUpByPriority(QueryId target,
 Result<MaintenancePlan> WlmAdvisor::PrepareMaintenance(
     SimTime deadline, LossMetric metric, MaintenanceMethod method,
     const pi::PiManager* pis) {
+  obs::TraceSpan span(obs::GlobalTracer(), "wlm", "prepare_maintenance");
+  span.arg("deadline", deadline);
+  span.arg("method", static_cast<double>(method));
   db_->SetAdmissionOpen(false);  // operation O1
 
   switch (method) {
@@ -141,6 +149,7 @@ Result<MaintenancePlan> WlmAdvisor::ReviseMaintenance(
 }
 
 std::vector<sched::QueryInfo> WlmAdvisor::AbortAllUnfinished() {
+  obs::TraceSpan span(obs::GlobalTracer(), "wlm", "abort_all_unfinished");
   // Snapshot first: aborting a running query admits queued queries into
   // the freed slot, so sweeping live views would miss them.
   std::vector<sched::QueryInfo> victims;

@@ -80,6 +80,108 @@ TEST(MetricsTest, TextDumpContainsAllInstruments) {
   EXPECT_NE(dump.find("histogram step.wall_ms count=1"), std::string::npos);
 }
 
+TEST(MetricsTest, HistogramTracksMinAndRendersIt) {
+  Histogram histogram;
+  histogram.Observe(3.0);
+  histogram.Observe(0.5);
+  histogram.Observe(12.0);
+  EXPECT_DOUBLE_EQ(histogram.min(), 0.5);
+  EXPECT_DOUBLE_EQ(histogram.max(), 12.0);
+  EXPECT_NE(histogram.Render().find("min=0.5"), std::string::npos);
+  // Empty histogram: min is 0, not garbage.
+  EXPECT_DOUBLE_EQ(Histogram().min(), 0.0);
+}
+
+TEST(MetricsTest, QuantileInterpolatesWithinObservedRange) {
+  Histogram histogram;  // default bounds end at 1024
+  // All observations land in the overflow bucket (> 1024): every
+  // quantile must interpolate between the observed min and max, not
+  // report the last finite bound.
+  histogram.Observe(5000.0);
+  histogram.Observe(6000.0);
+  histogram.Observe(7000.0);
+  EXPECT_GE(histogram.Quantile(0.01), 5000.0);
+  EXPECT_LE(histogram.Quantile(0.99), 7000.0);
+  EXPECT_GT(histogram.Quantile(0.9), histogram.Quantile(0.1));
+
+  // A single observation inside a wide bucket: the quantile is clamped
+  // to the observed value instead of sweeping the whole bucket.
+  Histogram single;
+  single.Observe(2.0);  // bucket (1, 4]
+  EXPECT_DOUBLE_EQ(single.Quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(single.Quantile(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram().Quantile(0.5), 0.0);  // empty
+}
+
+TEST(MetricsTest, LabeledSeriesAreDistinctWithinAFamily) {
+  MetricsRegistry registry;
+  Counter* high = registry.counter("wlm.blocks", {{"priority", "high"}});
+  Counter* low = registry.counter("wlm.blocks", {{"priority", "low"}});
+  Counter* bare = registry.counter("wlm.blocks");
+  EXPECT_NE(high, low);
+  EXPECT_NE(high, bare);
+  // Label order does not matter: the registry canonicalises.
+  EXPECT_EQ(registry.histogram("pi.err", {{"a", "1"}, {"b", "2"}}),
+            registry.histogram("pi.err", {{"b", "2"}, {"a", "1"}}));
+
+  high->Increment(3);
+  low->Increment();
+  bare->Increment(9);
+  const std::string dump = registry.TextDump();
+  EXPECT_NE(dump.find("counter   wlm.blocks 9"), std::string::npos);
+  EXPECT_NE(dump.find("counter   wlm.blocks{priority=high} 3"),
+            std::string::npos);
+  EXPECT_NE(dump.find("counter   wlm.blocks{priority=low} 1"),
+            std::string::npos);
+}
+
+TEST(MetricsTest, HistogramCustomBoundsApplyOnCreation) {
+  MetricsRegistry registry;
+  Histogram* mape =
+      registry.histogram("pi.mape", {}, {0.1, 0.5, 1.0});
+  mape->Observe(0.3);
+  const auto snapshot = mape->snapshot();
+  ASSERT_EQ(snapshot.bounds.size(), 3u);
+  EXPECT_DOUBLE_EQ(snapshot.bounds[0], 0.1);
+  ASSERT_EQ(snapshot.cumulative.size(), 4u);
+  EXPECT_EQ(snapshot.cumulative[0], 0u);
+  EXPECT_EQ(snapshot.cumulative[1], 1u);  // (0.1, 0.5]
+  EXPECT_EQ(snapshot.cumulative[3], 1u);  // +Inf total
+  // Later lookups return the existing instrument; bounds are ignored.
+  EXPECT_EQ(registry.histogram("pi.mape", {}, {99.0}), mape);
+}
+
+TEST(MetricsTest, PrometheusDumpExposesTypedFamilies) {
+  MetricsRegistry registry;
+  registry.counter("service.submits")->Increment(7);
+  registry.counter("service.submits", {{"priority", "high"}})->Increment(2);
+  registry.gauge("queries.running")->Set(2);
+  Histogram* latency = registry.histogram("step.wall_ms", {}, {1.0, 4.0});
+  latency->Observe(0.5);
+  latency->Observe(2.0);
+  latency->Observe(100.0);
+
+  const std::string prom = registry.PrometheusDump();
+  // Dots sanitized, one TYPE header per family, labeled + bare samples.
+  EXPECT_NE(prom.find("# TYPE service_submits counter\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("service_submits 7\n"), std::string::npos);
+  EXPECT_NE(prom.find("service_submits{priority=\"high\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE queries_running gauge\n"), std::string::npos);
+  EXPECT_NE(prom.find("queries_running 2\n"), std::string::npos);
+  // Histogram expansion: cumulative buckets, +Inf, sum, count.
+  EXPECT_NE(prom.find("# TYPE step_wall_ms histogram\n"), std::string::npos);
+  EXPECT_NE(prom.find("step_wall_ms_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("step_wall_ms_bucket{le=\"4\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("step_wall_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("step_wall_ms_sum 102.5\n"), std::string::npos);
+  EXPECT_NE(prom.find("step_wall_ms_count 3\n"), std::string::npos);
+}
+
 TEST(MetricsTest, ConcurrentIncrementsDoNotLoseCounts) {
   MetricsRegistry registry;
   Counter* counter = registry.counter("c");

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "pi/pi_manager.h"
@@ -83,6 +85,38 @@ TEST_F(EventTraceTest, CsvExport) {
   EXPECT_NE(csv.find("finished"), std::string::npos);
   trace.Clear();
   EXPECT_TRUE(trace.events().empty());
+}
+
+TEST_F(EventTraceTest, WriteFileRoundTripsPrintCsv) {
+  sched::Rdbms db(&catalog_, options_);
+  sim::EventTrace trace(&db);
+  ASSERT_TRUE(db.Submit(QuerySpec::Synthetic(50.0)).ok());
+  ASSERT_TRUE(db.Submit(QuerySpec::Synthetic(80.0)).ok());
+  db.RunUntilIdle();
+
+  const std::string path = ::testing::TempDir() + "mqpi_trace_test.csv";
+  ASSERT_TRUE(trace.WriteFile(path).ok());
+
+  // The file is byte-identical to what PrintCsv streams.
+  std::ostringstream expected;
+  trace.PrintCsv(expected);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::ostringstream actual;
+  actual << in.rdbuf();
+  EXPECT_EQ(actual.str(), expected.str());
+
+  // Header row first, then one line per event.
+  std::istringstream lines(actual.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "time,kind,query,state,completed,remaining");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) ++rows;
+  EXPECT_EQ(rows, trace.events().size());
+
+  std::remove(path.c_str());
+  EXPECT_FALSE(trace.WriteFile("/nonexistent-dir/trace.csv").ok());
 }
 
 TEST_F(EventTraceTest, EventsOrderedByTime) {
