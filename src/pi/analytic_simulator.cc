@@ -8,11 +8,17 @@
 namespace mqpi::pi {
 
 Result<SimTime> ForecastResult::FinishTimeOf(QueryId id) const {
-  for (const QueryForecast& f : forecasts_) {
-    if (f.id == id) return f.finish_time;
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " not in forecast");
   }
-  return Status::NotFound("query " + std::to_string(id) +
-                          " not in forecast");
+  return it->second;
+}
+
+void ForecastResult::Add(QueryId id, SimTime finish_time) {
+  forecasts_.push_back(QueryForecast{id, finish_time});
+  index_.emplace(id, finish_time);
 }
 
 namespace {
@@ -98,6 +104,7 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
 
   ForecastResult result;
   result.forecasts_.reserve(real_total);
+  result.index_.reserve(real_total);
 
   auto activate = [&](WorkUnits cost, double weight, QueryId id, bool real) {
     active.push(ActiveEntry{x + cost / weight, weight, id, real});
@@ -170,7 +177,7 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
       t = finish_t;
       total_w -= top.weight;
       if (top.real) {
-        result.forecasts_.push_back(QueryForecast{top.id, t});
+        result.Add(top.id, t);
         ++real_finished;
       }
       admit();
@@ -180,11 +187,8 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
   // Anything not finished by the horizon is reported as unbounded.
   if (real_finished < real_total) {
     auto report_missing = [&](QueryId id) {
-      if (id == kInvalidQueryId) return;
-      for (const QueryForecast& f : result.forecasts_) {
-        if (f.id == id) return;
-      }
-      result.forecasts_.push_back(QueryForecast{id, kInfiniteTime});
+      if (id == kInvalidQueryId || result.Contains(id)) return;
+      result.Add(id, kInfiniteTime);
     };
     for (const QueryLoad& q : running) report_missing(q.id);
     for (const QueryLoad& q : queued) report_missing(q.id);

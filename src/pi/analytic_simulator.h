@@ -18,6 +18,7 @@
 // exactly (property-tested).
 #pragma once
 
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -65,8 +66,13 @@ class ForecastResult {
   /// Forecasts for all *real* queries, in predicted finish order.
   const std::vector<QueryForecast>& forecasts() const { return forecasts_; }
 
-  /// Predicted remaining time of one query.
+  /// Predicted remaining time of one query. O(1): an id -> finish-time
+  /// index is maintained alongside the finish-ordered vector, so
+  /// callers may probe every tracked query against one shared forecast.
   Result<SimTime> FinishTimeOf(QueryId id) const;
+
+  /// Whether `id` appears in this forecast.
+  bool Contains(QueryId id) const { return index_.count(id) != 0; }
 
   /// When the last real query finishes (the estimated system quiescent
   /// time of Section 3.3); kInfiniteTime if any query missed the horizon.
@@ -74,7 +80,11 @@ class ForecastResult {
 
  private:
   friend class AnalyticSimulator;
+  /// Appends one real query's forecast, keeping the index in sync.
+  void Add(QueryId id, SimTime finish_time);
+
   std::vector<QueryForecast> forecasts_;
+  std::unordered_map<QueryId, SimTime> index_;
   SimTime quiescent_ = 0.0;
 };
 

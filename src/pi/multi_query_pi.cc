@@ -1,13 +1,23 @@
 #include "pi/multi_query_pi.h"
 
 #include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "obs/tracer.h"
 
 namespace mqpi::pi {
 
 MultiQueryPi::MultiQueryPi(const sched::Rdbms* db,
                            MultiQueryPiOptions options,
                            FutureWorkloadModel* future)
-    : db_(db), options_(options), future_(future), rate_(options.rate_alpha) {
+    : db_(db),
+      options_(options),
+      future_(future),
+      tracer_(obs::GlobalTracer()),
+      rate_(options.rate_alpha),
+      last_observed_now_(db->now()) {
   // Queries already in the system are current load, not "arrivals";
   // only queries submitted after the PI attaches feed the future model.
   for (const auto& info : db_->AllQueries()) {
@@ -16,6 +26,10 @@ MultiQueryPi::MultiQueryPi(const sched::Rdbms* db,
 }
 
 void MultiQueryPi::ObserveStep() {
+  const SimTime now = db_->now();
+  const SimTime since = std::max(0.0, now - last_observed_now_);
+  last_observed_now_ = now;
+
   // Accumulate consumption across running queries; emit one rate
   // sample per full window (per-quantum totals are too noisy because
   // operators overshoot their budget by up to one probe).
@@ -27,12 +41,27 @@ void MultiQueryPi::ObserveStep() {
     dt = std::max(dt, info.last_step_duration);
   }
   if (dt > 0.0 && !running.empty()) {
+    idle_elapsed_ = 0.0;
     window_consumed_ += consumed;
     window_elapsed_ += dt;
     if (window_elapsed_ + kTimeEpsilon >= options_.rate_window) {
       rate_.Observe(window_consumed_ / window_elapsed_);
       window_consumed_ = 0.0;
       window_elapsed_ = 0.0;
+    }
+  } else {
+    // Idle (or blocked-only) quantum. Drop the partial window — the
+    // pre-gap fragment would otherwise be silently concatenated with
+    // post-gap consumption into one "window" spanning the gap — and
+    // once the system has been idle for at least a full rate window,
+    // flush the smoothed rate too: whatever speed was measured before
+    // the gap describes a workload that no longer exists.
+    window_consumed_ = 0.0;
+    window_elapsed_ = 0.0;
+    idle_elapsed_ += since;
+    if (rate_.has_value() &&
+        idle_elapsed_ + kTimeEpsilon >= options_.rate_window) {
+      rate_.Reset();
     }
   }
 
@@ -45,7 +74,7 @@ void MultiQueryPi::ObserveStep() {
                                 info.weight);
       }
     }
-    future_->ObserveElapsed(db_->now());
+    future_->ObserveElapsed(now);
   }
 }
 
@@ -54,43 +83,35 @@ double MultiQueryPi::estimated_rate() const {
                            : db_->options().processing_rate;
 }
 
-Result<ForecastResult> MultiQueryPi::ForecastAll() const {
-  return ForecastWhatIf(WhatIf{});
+MultiQueryPi::CacheKey MultiQueryPi::CurrentKey() const {
+  CacheKey key;
+  key.load_epoch = db_->load_epoch();
+  key.rate = estimated_rate();
+  if (future_ != nullptr) key.future = future_->Current();
+  return key;
 }
 
-Result<ForecastResult> MultiQueryPi::ForecastWhatIf(
-    const WhatIf& scenario) const {
-  auto removed = [&scenario](QueryId id) {
-    for (QueryId b : scenario.blocked) {
-      if (b == id) return true;
-    }
-    for (QueryId a : scenario.aborted) {
-      if (a == id) return true;
-    }
-    return false;
-  };
-  auto weight_of = [&scenario](const sched::QueryInfo& info) {
-    for (const auto& [id, weight] : scenario.reweighted) {
-      if (id == info.id) return weight;
-    }
-    return info.weight;
-  };
-
-  std::vector<QueryLoad> running;
+const MultiQueryPi::BaseLoad& MultiQueryPi::SnapshotBaseLoad() const {
+  const std::uint64_t epoch = db_->load_epoch();
+  if (base_valid_ && base_epoch_ == epoch) return base_;
+  base_.running.clear();
+  base_.queued.clear();
   for (const auto& info : db_->RunningQueries()) {
-    if (removed(info.id)) continue;
-    running.push_back(
-        QueryLoad{info.id, info.estimated_remaining_cost, weight_of(info)});
+    base_.running.push_back(
+        QueryLoad{info.id, info.estimated_remaining_cost, info.weight});
   }
-  std::vector<QueryLoad> queued;
   if (options_.consider_admission_queue) {
     for (const auto& info : db_->QueuedQueries()) {
-      if (removed(info.id)) continue;
-      queued.push_back(
-          QueryLoad{info.id, info.estimated_remaining_cost, weight_of(info)});
+      base_.queued.push_back(
+          QueryLoad{info.id, info.estimated_remaining_cost, info.weight});
     }
   }
+  base_epoch_ = epoch;
+  base_valid_ = true;
+  return base_;
+}
 
+AnalyticModelOptions MultiQueryPi::ModelOptions() const {
   AnalyticModelOptions model;
   model.rate = estimated_rate();
   model.max_concurrent = db_->options().max_concurrent;
@@ -104,13 +125,96 @@ Result<ForecastResult> MultiQueryPi::ForecastWhatIf(
       model.virtual_weight = est.avg_weight;
     }
   }
-  return AnalyticSimulator::Forecast(running, queued, {}, model);
+  return model;
 }
 
-Result<SimTime> MultiQueryPi::EstimateRemainingTime(QueryId id) const {
-  auto info = db_->info(id);
-  if (!info.ok()) return info.status();
-  switch (info->state) {
+Result<std::shared_ptr<const ForecastResult>>
+MultiQueryPi::ComputeBaseForecast() const {
+  const BaseLoad& base = SnapshotBaseLoad();
+  ++cache_misses_;
+  obs::TraceSpan span(tracer_, "pi", "forecast");
+  span.arg("n", static_cast<double>(base.running.size() +
+                                    base.queued.size()));
+  span.arg("epoch", static_cast<double>(base_epoch_));
+  auto forecast =
+      AnalyticSimulator::Forecast(base.running, base.queued, {},
+                                  ModelOptions());
+  if (!forecast.ok()) return forecast.status();
+  return std::make_shared<const ForecastResult>(*std::move(forecast));
+}
+
+Result<std::shared_ptr<const ForecastResult>> MultiQueryPi::ForecastShared()
+    const {
+  if (!options_.enable_forecast_cache) return ComputeBaseForecast();
+  const CacheKey key = CurrentKey();
+  if (cache_valid_ && key == cache_key_) {
+    ++cache_hits_;
+    if (!cache_status_.ok()) return cache_status_;
+    return cache_forecast_;
+  }
+  auto forecast = ComputeBaseForecast();
+  cache_key_ = key;
+  cache_valid_ = true;
+  if (forecast.ok()) {
+    cache_status_ = Status::OK();
+    cache_forecast_ = *forecast;
+  } else {
+    cache_status_ = forecast.status();
+    cache_forecast_.reset();
+  }
+  return forecast;
+}
+
+Result<ForecastResult> MultiQueryPi::ForecastAll() const {
+  auto forecast = ForecastShared();
+  if (!forecast.ok()) return forecast.status();
+  return **forecast;
+}
+
+Result<ForecastResult> MultiQueryPi::ForecastWhatIf(
+    const WhatIf& scenario) const {
+  if (scenario.blocked.empty() && scenario.aborted.empty() &&
+      scenario.reweighted.empty()) {
+    // The empty scenario IS the base forecast — share the cache.
+    return ForecastAll();
+  }
+
+  // Lookup structures built once per scenario, not scanned per query.
+  std::unordered_set<QueryId> removed;
+  removed.reserve(scenario.blocked.size() + scenario.aborted.size());
+  removed.insert(scenario.blocked.begin(), scenario.blocked.end());
+  removed.insert(scenario.aborted.begin(), scenario.aborted.end());
+  std::unordered_map<QueryId, double> reweighted(
+      scenario.reweighted.begin(), scenario.reweighted.end());
+
+  auto apply = [&](const std::vector<QueryLoad>& loads,
+                   std::vector<QueryLoad>* out) {
+    out->reserve(loads.size());
+    for (const QueryLoad& load : loads) {
+      if (removed.count(load.id) != 0) continue;
+      auto weight = reweighted.find(load.id);
+      out->push_back(weight == reweighted.end()
+                         ? load
+                         : QueryLoad{load.id, load.remaining_cost,
+                                     weight->second});
+    }
+  };
+
+  const BaseLoad& base = SnapshotBaseLoad();
+  std::vector<QueryLoad> running;
+  std::vector<QueryLoad> queued;
+  apply(base.running, &running);
+  apply(base.queued, &queued);
+
+  ++whatif_forecasts_;
+  obs::TraceSpan span(tracer_, "pi", "forecast_whatif");
+  span.arg("n", static_cast<double>(running.size() + queued.size()));
+  return AnalyticSimulator::Forecast(running, queued, {}, ModelOptions());
+}
+
+Result<SimTime> MultiQueryPi::EstimateRemainingTime(
+    const sched::QueryInfo& info) const {
+  switch (info.state) {
     case sched::QueryState::kFinished:
       return 0.0;
     case sched::QueryState::kAborted:
@@ -126,9 +230,15 @@ Result<SimTime> MultiQueryPi::EstimateRemainingTime(QueryId id) const {
     case sched::QueryState::kRunning:
       break;
   }
-  auto forecast = ForecastAll();
+  auto forecast = ForecastShared();
   if (!forecast.ok()) return forecast.status();
-  return forecast->FinishTimeOf(id);
+  return (*forecast)->FinishTimeOf(info.id);
+}
+
+Result<SimTime> MultiQueryPi::EstimateRemainingTime(QueryId id) const {
+  auto info = db_->info(id);
+  if (!info.ok()) return info.status();
+  return EstimateRemainingTime(*info);
 }
 
 }  // namespace mqpi::pi

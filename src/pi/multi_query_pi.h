@@ -14,9 +14,21 @@
 // queue contents, and the processing rate it measures itself from
 // per-step consumption (so perturbations that violate Assumption 1 are
 // felt through the measurement, exactly as a deployed PI would).
+//
+// Estimation cost: the paper computes all n remaining times in one
+// O(n log n) simulation (Section 2.2). To keep per-query estimate
+// calls at that aggregate cost, the PI memoizes the last full
+// ForecastResult keyed on {Rdbms load epoch, measured rate,
+// future-model estimate} and reuses it until the key changes — so the
+// n per-query calls a sampler or dashboard issues within one quantum
+// collapse to a single simulation, and the what-if forecaster builds
+// its scenarios from the same cached base load snapshot. The cache is
+// exact, never heuristic: any load-relevant transition bumps the epoch
+// (see sched::Rdbms::load_epoch) and forces a fresh simulation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/stats.h"
@@ -24,6 +36,10 @@
 #include "pi/analytic_simulator.h"
 #include "pi/future_model.h"
 #include "sched/rdbms.h"
+
+namespace mqpi::obs {
+class Tracer;
+}  // namespace mqpi::obs
 
 namespace mqpi::pi {
 
@@ -38,6 +54,10 @@ struct MultiQueryPiOptions {
   /// granularity makes per-quantum totals noisy (budget overshoot), so
   /// the rate is measured over whole windows before smoothing.
   SimTime rate_window = 5.0;
+  /// Memoize the last full forecast (see the header comment). Disable
+  /// only to cross-check cache coherence in tests and benches; the
+  /// cached and uncached estimates are identical by construction.
+  bool enable_forecast_cache = true;
   /// Analytic-model safety limits (rate and virtual stream are filled
   /// in per forecast).
   SimTime horizon = 1e7;
@@ -53,21 +73,40 @@ class MultiQueryPi {
 
   /// Samples the system after each scheduler step: measures the
   /// aggregate processing rate and feeds observed arrivals to the
-  /// future-workload model.
+  /// future-workload model. Idle quanta reset the partially filled
+  /// rate window (a pre-gap partial window must not be concatenated
+  /// with post-gap samples), and an idle stretch of at least one full
+  /// rate window flushes the smoothed rate entirely so post-idle
+  /// forecasts restart from the configured rate instead of a stale
+  /// pre-idle measurement.
   void ObserveStep();
 
   /// Predicted remaining execution time of `id` (0 if finished,
   /// kInfiniteTime if blocked or unbounded).
   Result<SimTime> EstimateRemainingTime(QueryId id) const;
 
+  /// Same, for a caller that already holds the query's info — the
+  /// batched path used by PiManager's report and sampling loops (no
+  /// per-call Rdbms::info lookup; with the forecast cache warm each
+  /// call is an O(1) index probe).
+  Result<SimTime> EstimateRemainingTime(const sched::QueryInfo& info) const;
+
   /// Full forecast for all running + queued queries.
   Result<ForecastResult> ForecastAll() const;
+
+  /// ForecastAll without copying the result out: the cached (or
+  /// freshly computed) forecast, shared. Snapshot builders that probe
+  /// many ids against one forecast use this.
+  Result<std::shared_ptr<const ForecastResult>> ForecastShared() const;
 
   /// What-if analysis: hypothetical workload-management actions applied
   /// to the forecast without touching the system. Queries in `blocked`
   /// or `aborted` are removed from the modelled load; `reweighted`
   /// entries (id -> new weight) model priority changes. The PI data
-  /// this uses is identical to ForecastAll's.
+  /// this uses is identical to ForecastAll's: scenarios are built from
+  /// the cached base load snapshot, so a WLM fan-out evaluating many
+  /// scenarios walks the Rdbms query tables once per epoch, not once
+  /// per scenario.
   struct WhatIf {
     std::vector<QueryId> blocked;
     std::vector<QueryId> aborted;
@@ -81,14 +120,70 @@ class MultiQueryPi {
 
   const FutureWorkloadModel* future_model() const { return future_; }
 
+  /// Forecast-cache statistics: a hit is an estimate served from the
+  /// memoized forecast, a miss is a full analytic simulation (the
+  /// steady state is <= 1 miss per quantum). What-if scenario
+  /// simulations are counted separately.
+  std::uint64_t forecast_cache_hits() const { return cache_hits_; }
+  std::uint64_t forecast_cache_misses() const { return cache_misses_; }
+  std::uint64_t whatif_forecasts() const { return whatif_forecasts_; }
+
  private:
+  /// The base (no-scenario) load vectors, rebuilt only when the Rdbms
+  /// load epoch moves.
+  struct BaseLoad {
+    std::vector<QueryLoad> running;
+    std::vector<QueryLoad> queued;
+  };
+
+  /// Everything a cached forecast's validity depends on beyond the
+  /// load vectors themselves.
+  struct CacheKey {
+    std::uint64_t load_epoch = 0;
+    double rate = 0.0;
+    FutureWorkloadEstimate future;
+
+    bool operator==(const CacheKey& other) const {
+      return load_epoch == other.load_epoch && rate == other.rate &&
+             future.lambda == other.future.lambda &&
+             future.avg_cost == other.future.avg_cost &&
+             future.avg_weight == other.future.avg_weight;
+    }
+  };
+
+  CacheKey CurrentKey() const;
+  /// Refreshes `base_` if the load epoch moved, then returns it.
+  const BaseLoad& SnapshotBaseLoad() const;
+  /// Model options with the measured rate and virtual stream filled in.
+  AnalyticModelOptions ModelOptions() const;
+  /// Runs one full simulation over the cached base load.
+  Result<std::shared_ptr<const ForecastResult>> ComputeBaseForecast() const;
+
   const sched::Rdbms* db_;
   MultiQueryPiOptions options_;
   FutureWorkloadModel* future_;
+  obs::Tracer* tracer_;  // the process-wide tracer, cached
   Ewma rate_;
   WorkUnits window_consumed_ = 0.0;
   SimTime window_elapsed_ = 0.0;
+  SimTime idle_elapsed_ = 0.0;  // consecutive idle time observed
+  SimTime last_observed_now_ = 0.0;
   QueryId last_seen_id_ = 0;  // arrival detection watermark
+
+  // Memoization state. Mutable: estimate entry points are logically
+  // const reads. The PI shares the Rdbms's external-synchronization
+  // contract (PiService serializes both under one lock), so no
+  // internal locking is needed.
+  mutable std::uint64_t base_epoch_ = 0;
+  mutable bool base_valid_ = false;
+  mutable BaseLoad base_;
+  mutable bool cache_valid_ = false;
+  mutable CacheKey cache_key_;
+  mutable Status cache_status_;
+  mutable std::shared_ptr<const ForecastResult> cache_forecast_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
+  mutable std::uint64_t whatif_forecasts_ = 0;
 };
 
 }  // namespace mqpi::pi

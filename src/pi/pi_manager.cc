@@ -72,7 +72,8 @@ std::vector<PiManager::ProgressRow> PiManager::Report() const {
       row.speed = it->second.speed();
       row.eta_single = it->second.EstimateRemainingTime();
     }
-    auto multi_eta = multi_.EstimateRemainingTime(info.id);
+    // Batched path: all rows probe one shared (cached) forecast.
+    auto multi_eta = multi_.EstimateRemainingTime(info);
     if (multi_eta.ok()) row.eta_multi = *multi_eta;
     rows.push_back(std::move(row));
   }
@@ -93,7 +94,15 @@ void PiManager::AfterStep() {
   }
 
   if (now + kTimeEpsilon < next_sample_) return;
-  next_sample_ = now + options_.sample_interval;
+  // Advance from the *scheduled* time, not from `now`: a quantum that
+  // overshoots the grid point would otherwise shift every later sample
+  // by the overshoot, and the drift compounds for the whole run. If the
+  // grid fell more than one interval behind (idle park, coarse quanta),
+  // jump to the next grid point after `now` instead of replaying a
+  // backlog of due samples.
+  do {
+    next_sample_ += options_.sample_interval;
+  } while (next_sample_ <= now + kTimeEpsilon);
 
   for (auto& [id, trace] : traces_) {
     auto info = db_->info(id);
@@ -108,10 +117,12 @@ void PiManager::AfterStep() {
     const SimTime s = single.EstimateRemainingTime();
     sample.single = s;
     sample.speed = single.speed();
-    auto m = multi_.EstimateRemainingTime(id);
+    // Batched path: every tracked query probes the same cached
+    // forecast, so the whole sampling loop costs one simulation.
+    auto m = multi_.EstimateRemainingTime(*info);
     sample.multi = m.ok() ? *m : kUnknown;
     if (multi_blind_) {
-      auto mb = multi_blind_->EstimateRemainingTime(id);
+      auto mb = multi_blind_->EstimateRemainingTime(*info);
       sample.multi_no_queue = mb.ok() ? *mb : kUnknown;
     }
     trace.push_back(sample);

@@ -97,6 +97,9 @@ Rdbms::Rdbms(const storage::Catalog* catalog, RdbmsOptions options)
 Rdbms::~Rdbms() = default;
 
 void Rdbms::Emit(QueryEventKind kind, const Record& record) {
+  // Every lifecycle event changes the modelled load (who runs, who
+  // queues, with what weight), so it invalidates cached forecasts.
+  ++load_epoch_;
   if (tracer_->enabled()) {
     tracer_->Instant("query", TraceEventName(kind), record.id, "t",
                      clock_.now());
@@ -238,6 +241,7 @@ Status Rdbms::FastForward(QueryId id, WorkUnits work) {
   if (work < 0.0) {
     return Status::InvalidArgument("fast-forward work must be >= 0");
   }
+  ++load_epoch_;  // remaining cost changes even when the query survives
   record->execution->Advance(work);
   if (record->execution->done()) {
     record->state = QueryState::kFinished;
@@ -252,6 +256,7 @@ Status Rdbms::FastForward(QueryId id, WorkUnits work) {
 }
 
 void Rdbms::SetAdmissionOpen(bool open) {
+  ++load_epoch_;
   admission_open_ = open;
   if (open) AdmitFromQueue();
 }
@@ -269,6 +274,10 @@ void Rdbms::Step(SimTime dt) {
 void Rdbms::StepOnce(SimTime dt) {
   obs::TraceSpan span(tracer_, "rdbms", "step");
   span.arg("t", clock_.now());
+  // The quantum consumes work and advances the clock, so forecast
+  // inputs (remaining costs, the forecast origin) change even when no
+  // lifecycle event fires.
+  ++load_epoch_;
   AdmitFromQueue();
 
   // Gather the active (running, unblocked) set and its total weight.

@@ -20,6 +20,7 @@
 // this class to reader threads.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -171,6 +172,17 @@ class Rdbms {
 
   SimTime now() const { return clock_.now(); }
 
+  /// Monotonic load epoch: bumped by every transition that can change
+  /// the inputs of a forecast — query lifecycle events (submit, admit,
+  /// block/resume, finish, abort, priority change), every executed
+  /// quantum (remaining costs and the clock move), fast-forwards, and
+  /// admission-gate flips. Progress indicators key their forecast
+  /// caches on it: as long as the epoch (and their own measured state)
+  /// is unchanged, a memoized forecast is still exact. Reads follow the
+  /// class's external-synchronization contract, same as every other
+  /// accessor.
+  std::uint64_t load_epoch() const { return load_epoch_; }
+
   // ---- inspection -----------------------------------------------------------
 
   Result<QueryInfo> info(QueryId id) const;
@@ -229,6 +241,7 @@ class Rdbms {
   WorkUnits system_carry_ = 0.0;
 
   QueryId next_id_ = 1;
+  std::uint64_t load_epoch_ = 0;
   std::unordered_map<QueryId, std::unique_ptr<Record>> queries_;
   std::vector<QueryId> running_;           // running + blocked hold slots
   std::deque<QueryId> admission_queue_;

@@ -97,6 +97,8 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   quanta_stepped_ = metrics_.counter("service.quanta_stepped");
   snapshots_published_ = metrics_.counter("service.snapshots_published");
   snapshot_reads_ = metrics_.counter("service.snapshot_reads");
+  forecast_cache_hit_ = metrics_.counter("pi.forecast_cache_hit");
+  forecast_cache_miss_ = metrics_.counter("pi.forecast_cache_miss");
   step_wall_ms_ = metrics_.histogram("step.wall_ms");
   snapshot_age_ms_ = metrics_.histogram("snapshot.age_ms");
 
@@ -318,6 +320,7 @@ void PiService::StepAndPublish(SimTime dt) {
     db_->Step(dt);
     pis_->AfterStep();
     snapshot = BuildSnapshotLocked();
+    RecordForecastCacheMetricsLocked();
     metrics_.gauge("queries.running")->Set(snapshot->num_running);
     metrics_.gauge("queries.queued")->Set(snapshot->num_queued);
     metrics_.gauge("queries.blocked")->Set(snapshot->num_blocked);
@@ -387,10 +390,12 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
   }
 
   // One forecast per snapshot; per-query r_i estimates are extracted
-  // from it instead of re-running the analytic model n times.
-  auto forecast = pis_->multi()->ForecastAll();
+  // from it instead of re-running the analytic model n times. In the
+  // steady state this is the same forecast the PI already computed
+  // (and cached) while sampling this quantum — shared, not copied.
+  auto forecast = pis_->multi()->ForecastShared();
   snapshot->quiescent_eta =
-      forecast.ok() ? forecast->quiescent_time() : kUnknown;
+      forecast.ok() ? (*forecast)->quiescent_time() : kUnknown;
 
   const auto infos = db_->AllQueries();  // sorted by id
   snapshot->queries.reserve(infos.size());
@@ -437,7 +442,7 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
         query.eta_single = pis_->EstimateSingle(info.id).value_or(kUnknown);
         if (forecast.ok()) {
           query.eta_multi =
-              forecast->FinishTimeOf(info.id).value_or(kUnknown);
+              (*forecast)->FinishTimeOf(info.id).value_or(kUnknown);
         }
         break;
       }
@@ -478,11 +483,21 @@ void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
   }
 }
 
+void PiService::RecordForecastCacheMetricsLocked() {
+  const std::uint64_t hits = pis_->multi()->forecast_cache_hits();
+  const std::uint64_t misses = pis_->multi()->forecast_cache_misses();
+  forecast_cache_hit_->Increment(hits - seen_cache_hits_);
+  forecast_cache_miss_->Increment(misses - seen_cache_misses_);
+  seen_cache_hits_ = hits;
+  seen_cache_misses_ = misses;
+}
+
 void PiService::PublishNow() {
   std::shared_ptr<ProgressSnapshot> snapshot;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     snapshot = BuildSnapshotLocked();
+    RecordForecastCacheMetricsLocked();
   }
   Publish(std::move(snapshot));
 }

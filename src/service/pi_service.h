@@ -261,13 +261,22 @@ class PiService {
   std::atomic<bool> stop_{false};
   std::thread ticker_;
 
+  // Requires state_mu_. Publishes the PI forecast-cache deltas since
+  // the last call into the hit/miss counters.
+  void RecordForecastCacheMetricsLocked();
+
   MetricsRegistry metrics_;
   // Hot-path instruments, resolved once.
   Counter* quanta_stepped_;
   Counter* snapshots_published_;
   Counter* snapshot_reads_;
+  Counter* forecast_cache_hit_;
+  Counter* forecast_cache_miss_;
   Histogram* step_wall_ms_;
   Histogram* snapshot_age_ms_;
+  // Last PI cache totals already published (guarded by state_mu_).
+  std::uint64_t seen_cache_hits_ = 0;
+  std::uint64_t seen_cache_misses_ = 0;
 
   obs::EstimateAuditor auditor_;
   obs::Tracer* tracer_;  // the process-wide tracer, cached

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "pi/future_model.h"
 #include "pi/multi_query_pi.h"
@@ -330,6 +331,197 @@ TEST(PiManagerTest, SingleVsMultiOnSharedWorkload) {
   const double actual = finish - first.time;
   EXPECT_LT(RelativeError(first.multi, actual), 0.10);
   EXPECT_GT(RelativeError(first.single, actual), 0.50);
+}
+
+// ---- sampling cadence ------------------------------------------------------------
+
+TEST(PiManagerTest, SampleGridSurvivesQuantumOvershoot) {
+  // A quantum (0.3) that does not divide the sample interval (1.0)
+  // overshoots most grid points. The sampler must keep anchoring to
+  // the fixed grid: each sample lands within one quantum after its
+  // grid point. (The old code advanced next_sample_ from `now`, so
+  // every overshoot shifted all later samples and the drift
+  // compounded: samples at 0.3, 1.5, 2.7, 3.9, ...)
+  storage::Catalog catalog;
+  auto options = CleanOptions();
+  options.quantum = 0.3;
+  sched::Rdbms db(&catalog, options);
+  PiManager pis(&db, {.sample_interval = 1.0});
+  sim::SimulationRunner runner(&db, &pis);
+  auto id = runner.SubmitNow(QuerySpec::Synthetic(2000.0));
+  ASSERT_TRUE(id.ok());
+  pis.Track(*id);
+  runner.StepFor(9.9);  // 33 quanta, grid points 0..9 all pass
+  const auto& trace = pis.Trace(*id);
+  ASSERT_EQ(trace.size(), 10u);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const SimTime offset = trace[i].time - static_cast<SimTime>(i) * 1.0;
+    EXPECT_GE(offset, -1e-9) << "sample " << i << " at " << trace[i].time;
+    EXPECT_LE(offset, options.quantum + 1e-9)
+        << "sample " << i << " at " << trace[i].time;
+  }
+}
+
+// ---- idle-gap rate handling ------------------------------------------------------
+
+TEST(MultiQueryPiTest, IdleGapFlushesStaleRate) {
+  // Two thrashing queries drag the measured rate to 75 U/s. Once the
+  // system has been idle for a full rate window, that measurement
+  // describes a workload that no longer exists and must be flushed:
+  // the PI falls back to the configured rate.
+  storage::Catalog catalog;
+  auto options = CleanOptions();
+  options.perturbation.thrash_threshold = 1;
+  options.perturbation.thrash_factor = 0.25;
+  sched::Rdbms db(&catalog, options);
+  MultiQueryPi pi(&db, {.rate_alpha = 1.0, .rate_window = 0.1});
+  auto a = db.Submit(QuerySpec::Synthetic(60.0));
+  auto b = db.Submit(QuerySpec::Synthetic(60.0));
+  ASSERT_TRUE(b.ok());
+  (void)a;
+  while (!db.Idle()) {
+    db.Step(options.quantum);
+    pi.ObserveStep();
+  }
+  EXPECT_NEAR(pi.estimated_rate(), 75.0, 2.0);
+  // Idle quanta spanning at least one full rate window.
+  for (int i = 0; i < 4; ++i) {
+    db.Step(options.quantum);
+    pi.ObserveStep();
+  }
+  EXPECT_DOUBLE_EQ(pi.estimated_rate(), 100.0);
+}
+
+TEST(MultiQueryPiTest, IdleGapDropsPartialRateWindow) {
+  // A partial rate window measured before an idle gap must not be
+  // concatenated with post-gap consumption: the first completed
+  // window after the gap has to measure the new workload only.
+  storage::Catalog catalog;
+  auto options = CleanOptions();
+  options.perturbation.thrash_threshold = 1;
+  options.perturbation.thrash_factor = 0.25;
+  sched::Rdbms db(&catalog, options);
+  MultiQueryPi pi(&db, {.rate_alpha = 1.0, .rate_window = 1.0});
+  // Phase 1: one query alone runs at the full 100 U/s for 0.5 s —
+  // only half a window, never emitted as a rate sample.
+  auto warm = db.Submit(QuerySpec::Synthetic(50.0));
+  ASSERT_TRUE(warm.ok());
+  while (!db.Idle()) {
+    db.Step(options.quantum);
+    pi.ObserveStep();
+  }
+  // Short idle gap (shorter than the window: no flush, but the
+  // partial window must be dropped).
+  for (int i = 0; i < 2; ++i) {
+    db.Step(options.quantum);
+    pi.ObserveStep();
+  }
+  // Phase 2: two queries thrash at 75 U/s. After one full window the
+  // measured rate must reflect phase 2 only; splicing the pre-gap
+  // fragment in would yield a blended ~86 U/s.
+  auto a = db.Submit(QuerySpec::Synthetic(500.0));
+  auto b = db.Submit(QuerySpec::Synthetic(500.0));
+  ASSERT_TRUE(b.ok());
+  (void)a;
+  for (int i = 0; i < 24; ++i) {
+    db.Step(options.quantum);
+    pi.ObserveStep();
+  }
+  EXPECT_NEAR(pi.estimated_rate(), 75.0, 2.0);
+}
+
+// ---- forecast cache --------------------------------------------------------------
+
+TEST(MultiQueryPiTest, CacheCoherentAcrossTransitions) {
+  // A cached PI and a cache-disabled PI attached to the same Rdbms
+  // must report bit-identical estimates across every load-relevant
+  // transition: the epoch key makes the memoization exact, never
+  // heuristic.
+  storage::Catalog catalog;
+  auto options = CleanOptions();
+  options.max_concurrent = 3;
+  options.weights = PriorityWeights(1.0, 2.0, 4.0, 8.0);
+  sched::Rdbms db(&catalog, options);
+  MultiQueryPi cached(&db, {});
+  MultiQueryPi fresh(&db, {.enable_forecast_cache = false});
+
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 5; ++i) {
+    auto id = db.Submit(QuerySpec::Synthetic(100.0 * (i + 1)));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  auto expect_identical = [&](const char* where) {
+    for (QueryId id : ids) {
+      auto c = cached.EstimateRemainingTime(id);
+      auto f = fresh.EstimateRemainingTime(id);
+      ASSERT_EQ(c.ok(), f.ok()) << where << " id=" << id;
+      if (c.ok()) {
+        EXPECT_EQ(*c, *f) << where << " id=" << id;
+      }
+    }
+  };
+  auto step = [&](int quanta) {
+    for (int i = 0; i < quanta; ++i) {
+      db.Step(options.quantum);
+      cached.ObserveStep();
+      fresh.ObserveStep();
+    }
+  };
+
+  expect_identical("after submit");
+  // Repeated reads within one epoch must hit the cache.
+  expect_identical("second read");
+  EXPECT_GT(cached.forecast_cache_hits(), 0u);
+
+  step(4);
+  expect_identical("after steps");
+  ASSERT_TRUE(db.SetPriority(ids[1], Priority::kHigh).ok());
+  expect_identical("after reweight");
+  ASSERT_TRUE(db.Block(ids[0]).ok());
+  expect_identical("after block");
+  step(3);
+  ASSERT_TRUE(db.Resume(ids[0]).ok());
+  expect_identical("after resume");
+  ASSERT_TRUE(db.Abort(ids[2]).ok());
+  expect_identical("after abort");
+  auto late = db.Submit(QuerySpec::Synthetic(50.0));
+  ASSERT_TRUE(late.ok());
+  ids.push_back(*late);
+  expect_identical("after late submit");
+  step(30);
+  expect_identical("after more steps");
+
+  // The cached PI must have answered most probes from the cache: one
+  // simulation per epoch, not one per estimate call.
+  EXPECT_LT(cached.forecast_cache_misses(),
+            cached.forecast_cache_hits());
+}
+
+TEST(PiManagerTest, OneForecastPerQuantumWhenSampling) {
+  // 20 tracked queries sampled every quantum: the batched estimate
+  // path must run one analytic simulation per quantum, not one per
+  // query (the old per-call path was O(n^2 log n) per quantum).
+  storage::Catalog catalog;
+  auto options = CleanOptions();
+  sched::Rdbms db(&catalog, options);
+  PiManager pis(&db, {.sample_interval = options.quantum});
+  sim::SimulationRunner runner(&db, &pis);
+  for (int i = 0; i < 20; ++i) {
+    auto id = runner.SubmitNow(QuerySpec::Synthetic(1000.0));
+    ASSERT_TRUE(id.ok());
+    pis.Track(*id);
+  }
+  runner.StepFor(0.5);  // 10 quanta, each samples all 20 queries
+  const MultiQueryPi* multi = pis.multi();
+  EXPECT_LE(multi->forecast_cache_misses(), 11u);
+  EXPECT_GE(multi->forecast_cache_hits(), 20u * 10u - 11u);
+  // A full report right now costs zero extra simulations: the epoch
+  // has not moved since the last sample.
+  const std::uint64_t misses_before = multi->forecast_cache_misses();
+  const auto rows = pis.Report();
+  EXPECT_EQ(rows.size(), 20u);
+  EXPECT_EQ(multi->forecast_cache_misses(), misses_before);
 }
 
 }  // namespace

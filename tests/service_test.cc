@@ -256,6 +256,32 @@ TEST(ServiceManualTest, SessionLifecycleAndSnapshotProgress) {
   EXPECT_TRUE(session->Close().ok());
 }
 
+TEST(ServiceManualTest, ForecastCacheCountersPublished) {
+  // The service republishes the PI's forecast-cache statistics as
+  // metrics. Steady state: each quantum builds one snapshot over many
+  // queries, so misses stay bounded by the quantum count while hits
+  // accumulate from the batched per-query probes.
+  storage::Catalog catalog;
+  PiService service(&catalog, ManualOptions());
+  auto session = service.OpenSession("cache-watch");
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(session->Submit(QuerySpec::Synthetic(500.0)).ok());
+  }
+  ASSERT_TRUE(service.Advance(2.0).ok());  // 20 quanta at 0.1 s
+
+  const auto hits =
+      service.metrics()->counter("pi.forecast_cache_hit")->value();
+  const auto misses =
+      service.metrics()->counter("pi.forecast_cache_miss")->value();
+  EXPECT_GT(hits, 0u);
+  // <= one full simulation per quantum, with slack for submissions.
+  EXPECT_LE(misses, 30u);
+  const std::string dump = service.metrics()->TextDump();
+  EXPECT_NE(dump.find("pi.forecast_cache_hit"), std::string::npos);
+  EXPECT_NE(dump.find("pi.forecast_cache_miss"), std::string::npos);
+  EXPECT_TRUE(session->Close().ok());
+}
+
 TEST(ServiceManualTest, QueuePositionsExposedWhileWaiting) {
   storage::Catalog catalog;
   auto options = ManualOptions();

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
 #include "engine/planner.h"
+#include "pi/analytic_simulator.h"
 #include "pi/multi_query_pi.h"
 #include "sched/rdbms.h"
 #include "storage/catalog.h"
@@ -106,6 +111,62 @@ TEST_F(WhatIfTest, EmptyScenarioEqualsForecastAll) {
   ASSERT_TRUE(all.ok());
   ASSERT_TRUE(what_if.ok());
   EXPECT_DOUBLE_EQ(*all->FinishTimeOf(*a), *what_if->FinishTimeOf(*a));
+}
+
+TEST_F(WhatIfTest, LargeMixedScenarioMatchesManualForecast) {
+  // The scenario builder works from the PI's cached base-load snapshot
+  // with hash-set lookups; cross-check a mixed blocked + aborted +
+  // reweighted scenario against a forecast assembled by hand from the
+  // raw query tables.
+  std::vector<QueryId> ids;
+  for (int i = 0; i < 40; ++i) {
+    auto id = db_->Submit(QuerySpec::Synthetic(50.0 + 10.0 * i));
+    ASSERT_TRUE(id.ok());
+    ids.push_back(*id);
+  }
+  pi::MultiQueryPi pi(db_.get());
+
+  pi::MultiQueryPi::WhatIf scenario;
+  for (int i = 0; i < 40; i += 4) scenario.blocked.push_back(ids[i]);
+  for (int i = 1; i < 40; i += 4) scenario.aborted.push_back(ids[i]);
+  for (int i = 2; i < 40; i += 4) {
+    scenario.reweighted.emplace_back(ids[i], 8.0);
+  }
+  auto what_if = pi.ForecastWhatIf(scenario);
+  ASSERT_TRUE(what_if.ok());
+
+  std::unordered_set<QueryId> removed(scenario.blocked.begin(),
+                                      scenario.blocked.end());
+  removed.insert(scenario.aborted.begin(), scenario.aborted.end());
+  std::unordered_map<QueryId, double> reweighted(
+      scenario.reweighted.begin(), scenario.reweighted.end());
+  std::vector<pi::QueryLoad> loads;
+  for (const auto& info : db_->RunningQueries()) {
+    if (removed.count(info.id) != 0) continue;
+    auto weight = reweighted.find(info.id);
+    loads.push_back(pi::QueryLoad{
+        info.id, info.estimated_remaining_cost,
+        weight == reweighted.end() ? info.weight : weight->second});
+  }
+  pi::AnalyticModelOptions model;
+  model.rate = options_.processing_rate;
+  model.max_concurrent = options_.max_concurrent;
+  auto manual = pi::AnalyticSimulator::Forecast(loads, {}, {}, model);
+  ASSERT_TRUE(manual.ok());
+
+  for (QueryId id : ids) {
+    if (removed.count(id) != 0) {
+      EXPECT_TRUE(what_if->FinishTimeOf(id).status().IsNotFound());
+      continue;
+    }
+    auto expected = manual->FinishTimeOf(id);
+    auto got = what_if->FinishTimeOf(id);
+    ASSERT_TRUE(expected.ok());
+    ASSERT_TRUE(got.ok());
+    EXPECT_DOUBLE_EQ(*got, *expected) << "id=" << id;
+  }
+  EXPECT_DOUBLE_EQ(what_if->quiescent_time(), manual->quiescent_time());
+  EXPECT_EQ(pi.whatif_forecasts(), 1u);
 }
 
 // ---- Explain ------------------------------------------------------------------
