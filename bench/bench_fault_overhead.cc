@@ -1,0 +1,78 @@
+// bench_fault_overhead: the cost of the fault-injection harness.
+//
+// The FaultInjector's contract mirrors the tracer's: wiring left
+// compiled into the hot paths must be effectively free while no fault
+// is armed. Each wired point costs one null check plus (with an
+// injector attached) one relaxed atomic load of the armed-point count.
+//
+//   BM_RdbmsStep/0            no injector attached (the null branch)
+//   BM_RdbmsStep/1            injector attached, nothing armed
+//   BM_RdbmsStep/2            injector attached, rate-collapse armed
+//                             at p=0.01 (locked evaluation per quantum)
+//   BM_Evaluate/0,1           one Evaluate() call, disarmed/armed
+//   BM_EnabledGate            the bare enabled() hot-path gate
+//
+// Run: ./bench_fault_overhead [--benchmark_filter=...]
+
+#include <benchmark/benchmark.h>
+
+#include "engine/planner.h"
+#include "fault/fault_injector.h"
+#include "sched/rdbms.h"
+#include "storage/catalog.h"
+
+using namespace mqpi;
+
+namespace {
+
+void BM_RdbmsStep(benchmark::State& state) {
+  storage::Catalog catalog;
+  sched::RdbmsOptions options;
+  options.processing_rate = 100.0;
+  options.quantum = 0.1;
+  options.cost_model.noise_sigma = 0.0;
+  sched::Rdbms db(&catalog, options);
+  for (int i = 0; i < 8; ++i) {
+    // Effectively infinite cost: the running set never changes, so
+    // every iteration steps the same eight queries.
+    (void)db.Submit(engine::QuerySpec::Synthetic(1e12));
+  }
+  fault::FaultInjector injector;
+  if (state.range(0) >= 1) db.SetFaultInjector(&injector);
+  if (state.range(0) >= 2) {
+    // Rare-but-armed: the realistic chaos-run configuration. A fire
+    // only multiplies the quantum's rate, so the running set is
+    // untouched and iterations stay comparable.
+    injector.ArmProbability(fault::kSchedRateCollapse, 0.01, 0.5);
+  }
+  for (auto _ : state) {
+    db.Step(options.quantum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RdbmsStep)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_Evaluate(benchmark::State& state) {
+  fault::FaultInjector injector;
+  if (state.range(0) != 0) {
+    injector.ArmProbability(fault::kSchedQuantumStall, 0.001);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.Evaluate(fault::kSchedQuantumStall));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Evaluate)->Arg(0)->Arg(1);
+
+void BM_EnabledGate(benchmark::State& state) {
+  fault::FaultInjector injector;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(injector.enabled());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EnabledGate);
+
+}  // namespace
+
+BENCHMARK_MAIN();

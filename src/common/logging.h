@@ -37,4 +37,20 @@ class LogLine {
 
 #define MQPI_LOG(level) ::mqpi::internal::LogLine(::mqpi::LogLevel::level)
 
+/// Soft invariant check for service paths: a violated MQPI_DCHECK logs
+/// an error and *continues* in every build mode, so the caller's
+/// graceful-degradation path runs identically in debug and NDEBUG
+/// builds. Use it where an `assert` would make an injected fault abort
+/// the process in one build flavor and silently pass in the other;
+/// keep `assert` for programmer errors in cold, single-threaded code.
+/// Evaluates to the condition's truth value so callers can branch:
+///   if (!MQPI_DCHECK(record != nullptr)) continue;
+#define MQPI_DCHECK(cond)                                               \
+  (static_cast<bool>(cond)                                              \
+       ? true                                                           \
+       : (::mqpi::internal::LogLine(::mqpi::LogLevel::kError)           \
+              << "DCHECK failed: " << #cond << " (" << __FILE__ << ":"  \
+              << __LINE__ << ")",                                       \
+          false))
+
 }  // namespace mqpi

@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kAborted = 6,
   kUnimplemented = 7,
   kInternal = 8,
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -58,6 +59,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -66,6 +70,9 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// Message text; empty for OK.
   const std::string& message() const {

@@ -7,6 +7,11 @@
 //   wlm      - speed-up and scheduled-maintenance algorithms
 //   workload - Zipf query mixes and Poisson arrival schedules
 //   sim      - simulation runner, traces, series reporting
+//   fault    - deterministic fault injection: a seeded FaultInjector
+//              with named fault points wired into the scheduler, the
+//              PIs, and the service (spurious aborts, rate collapses,
+//              ticker stalls, ...); per-point RNG streams make a chaos
+//              run replayable from its seed alone
 //   obs      - observability: lock-striped runtime tracer (Chrome
 //              trace_event / JSONL export) and the estimate-accuracy
 //              auditor that scores PI trajectories against ground truth
@@ -30,6 +35,7 @@
 #include "common/units.h"       // IWYU pragma: export
 #include "engine/planner.h"     // IWYU pragma: export
 #include "engine/sql_parser.h"  // IWYU pragma: export
+#include "fault/fault_injector.h"  // IWYU pragma: export
 #include "obs/auditor.h"        // IWYU pragma: export
 #include "obs/tracer.h"         // IWYU pragma: export
 #include "pi/analytic_simulator.h"  // IWYU pragma: export

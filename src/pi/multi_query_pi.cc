@@ -1,10 +1,12 @@
 #include "pi/multi_query_pi.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "fault/fault_injector.h"
 #include "obs/tracer.h"
 
 namespace mqpi::pi {
@@ -30,6 +32,19 @@ void MultiQueryPi::ObserveStep() {
   const SimTime since = std::max(0.0, now - last_observed_now_);
   last_observed_now_ = now;
 
+  if (fault_ != nullptr && fault_->enabled()) {
+    if (fault_->ShouldFire(fault::kPiCacheInvalidate)) {
+      // Forced invalidation is a correctness no-op by construction:
+      // the next estimate recomputes from the same inputs and must be
+      // byte-identical (the chaos soak cross-checks this).
+      cache_valid_ = false;
+      base_valid_ = false;
+      cache_forecast_.reset();
+    }
+    const auto corrupt = fault_->Evaluate(fault::kPiWindowCorrupt);
+    if (corrupt.fired) window_consumed_ = corrupt.value;
+  }
+
   // Accumulate consumption across running queries; emit one rate
   // sample per full window (per-quantum totals are too noisy because
   // operators overshoot their budget by up to one probe).
@@ -45,7 +60,17 @@ void MultiQueryPi::ObserveStep() {
     window_consumed_ += consumed;
     window_elapsed_ += dt;
     if (window_elapsed_ + kTimeEpsilon >= options_.rate_window) {
-      rate_.Observe(window_consumed_ / window_elapsed_);
+      const double sample = window_consumed_ / window_elapsed_;
+      // Guardrail: a corrupted accumulator (NaN, negative) or a fully
+      // stalled window (zero consumption while queries nominally ran)
+      // must not poison the EWMA — division by a ~zero smoothed rate
+      // is how inf estimates are born. Reject the sample and keep the
+      // last credible measurement instead.
+      if (std::isfinite(sample) && sample > 0.0) {
+        rate_.Observe(sample);
+      } else {
+        ++corrupt_rate_samples_;
+      }
       window_consumed_ = 0.0;
       window_elapsed_ = 0.0;
     }
@@ -79,8 +104,26 @@ void MultiQueryPi::ObserveStep() {
 }
 
 double MultiQueryPi::estimated_rate() const {
-  return rate_.has_value() ? rate_.value()
-                           : db_->options().processing_rate;
+  const double configured = db_->options().processing_rate;
+  // The floor keeps the estimation rate strictly positive and finite
+  // even when the measured rate collapses to zero/denormal or the
+  // configured rate itself is degenerate.
+  const double floor =
+      std::max(configured * options_.min_rate_fraction, 1e-12);
+  const double rate = rate_.has_value() ? rate_.value() : configured;
+  if (!std::isfinite(rate) || rate < floor) {
+    ++rate_floor_hits_;
+    return floor;
+  }
+  return rate;
+}
+
+SimTime MultiQueryPi::SanitizeEta(SimTime eta) const {
+  if (std::isnan(eta) || (eta < 0.0 && eta != kUnknown)) {
+    ++degraded_estimates_;
+    return kUnknown;
+  }
+  return eta;
 }
 
 MultiQueryPi::CacheKey MultiQueryPi::CurrentKey() const {
@@ -232,7 +275,9 @@ Result<SimTime> MultiQueryPi::EstimateRemainingTime(
   }
   auto forecast = ForecastShared();
   if (!forecast.ok()) return forecast.status();
-  return (*forecast)->FinishTimeOf(info.id);
+  auto eta = (*forecast)->FinishTimeOf(info.id);
+  if (!eta.ok()) return eta.status();
+  return SanitizeEta(*eta);
 }
 
 Result<SimTime> MultiQueryPi::EstimateRemainingTime(QueryId id) const {

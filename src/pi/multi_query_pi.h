@@ -41,6 +41,10 @@ namespace mqpi::obs {
 class Tracer;
 }  // namespace mqpi::obs
 
+namespace mqpi::fault {
+class FaultInjector;
+}  // namespace mqpi::fault
+
 namespace mqpi::pi {
 
 struct MultiQueryPiOptions {
@@ -62,6 +66,12 @@ struct MultiQueryPiOptions {
   /// in per forecast).
   SimTime horizon = 1e7;
   std::size_t max_events = 4'000'000;
+  /// Rate guardrail: the effective estimation rate never drops below
+  /// this fraction of the configured rate. A measured rate at/below
+  /// the floor (a collapse, a corrupted window, a denormal EWMA tail)
+  /// would otherwise divide estimates toward infinity; the floor keeps
+  /// every forecast finite and counts the clamp in rate_floor_hits().
+  double min_rate_fraction = 1e-3;
 };
 
 class MultiQueryPi {
@@ -128,6 +138,26 @@ class MultiQueryPi {
   std::uint64_t forecast_cache_misses() const { return cache_misses_; }
   std::uint64_t whatif_forecasts() const { return whatif_forecasts_; }
 
+  /// Attaches a chaos harness (nullptr detaches; not owned). Armed
+  /// `pi.*` points fire inside ObserveStep: forced cache invalidation
+  /// and measurement-window corruption.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+
+  /// Degradation accounting, for the service's `pi.*` metrics:
+  /// times the rate floor (min_rate_fraction) had to clamp the
+  /// measured rate,
+  std::uint64_t rate_floor_hits() const { return rate_floor_hits_; }
+  /// rate-window samples rejected as non-finite or non-positive
+  /// (injected corruption, stalled windows),
+  std::uint64_t corrupt_rate_samples() const {
+    return corrupt_rate_samples_;
+  }
+  /// and estimates that came back NaN/negative from the model and were
+  /// degraded to kUnknown instead of being propagated.
+  std::uint64_t degraded_estimates() const { return degraded_estimates_; }
+
  private:
   /// The base (no-scenario) load vectors, rebuilt only when the Rdbms
   /// load epoch moves.
@@ -152,6 +182,10 @@ class MultiQueryPi {
   };
 
   CacheKey CurrentKey() const;
+  /// Estimate guardrail: NaN or negative model output degrades to
+  /// kUnknown (counted); finite non-negative values and the legitimate
+  /// kInfiniteTime sentinel pass through.
+  SimTime SanitizeEta(SimTime eta) const;
   /// Refreshes `base_` if the load epoch moved, then returns it.
   const BaseLoad& SnapshotBaseLoad() const;
   /// Model options with the measured rate and virtual stream filled in.
@@ -163,6 +197,7 @@ class MultiQueryPi {
   MultiQueryPiOptions options_;
   FutureWorkloadModel* future_;
   obs::Tracer* tracer_;  // the process-wide tracer, cached
+  fault::FaultInjector* fault_ = nullptr;  // optional chaos harness
   Ewma rate_;
   WorkUnits window_consumed_ = 0.0;
   SimTime window_elapsed_ = 0.0;
@@ -184,6 +219,9 @@ class MultiQueryPi {
   mutable std::uint64_t cache_hits_ = 0;
   mutable std::uint64_t cache_misses_ = 0;
   mutable std::uint64_t whatif_forecasts_ = 0;
+  mutable std::uint64_t rate_floor_hits_ = 0;
+  mutable std::uint64_t degraded_estimates_ = 0;
+  std::uint64_t corrupt_rate_samples_ = 0;
 };
 
 }  // namespace mqpi::pi

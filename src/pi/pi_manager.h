@@ -89,6 +89,14 @@ class PiManager {
   MultiQueryPi* multi() { return &multi_; }
   const MultiQueryPi* multi() const { return &multi_; }
 
+  /// Forwards a chaos harness to the primary multi-query PI. The
+  /// queue-blind comparison variant stays un-faulted: a second PI
+  /// drawing from the same fault-point streams would entangle both
+  /// PIs' fire sequences with their evaluation interleaving.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    multi_.SetFaultInjector(injector);
+  }
+
   /// One dashboard row per live query — the classic progress-indicator
   /// GUI payload (percent done + ETA), with both estimators side by
   /// side. Covers every non-terminal query in the system, tracked or

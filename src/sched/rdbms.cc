@@ -1,9 +1,10 @@
 #include "sched/rdbms.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "obs/tracer.h"
 
 namespace mqpi::sched {
@@ -148,7 +149,7 @@ void Rdbms::AdmitFromQueue() {
     const QueryId id = admission_queue_.front();
     admission_queue_.pop_front();
     Record* record = Find(id);
-    assert(record != nullptr);
+    if (!MQPI_DCHECK(record != nullptr)) continue;
     if (record->state != QueryState::kQueued) continue;  // aborted in queue
     record->state = QueryState::kRunning;
     record->start_time = clock_.now();
@@ -262,13 +263,42 @@ void Rdbms::SetAdmissionOpen(bool open) {
 }
 
 void Rdbms::Step(SimTime dt) {
-  assert(dt >= 0.0);
+  if (!MQPI_DCHECK(dt >= 0.0)) return;
   SimTime remaining = dt;
   while (remaining > kTimeEpsilon) {
     const SimTime step = std::min(remaining, options_.quantum);
     StepOnce(step);
     remaining -= step;
   }
+}
+
+double Rdbms::ApplyStepFaults() {
+  if (fault_->ShouldFire(fault::kSchedAdmissionFlap)) {
+    SetAdmissionOpen(!admission_open_);
+  }
+  if (fault_->ShouldFire(fault::kSchedSpuriousAbort)) {
+    std::vector<QueryId> victims;
+    victims.reserve(running_.size());
+    for (QueryId id : running_) {
+      const Record* record = Find(id);
+      if (record != nullptr && record->state == QueryState::kRunning) {
+        victims.push_back(id);
+      }
+    }
+    if (!victims.empty()) {
+      const QueryId victim = victims[fault_->PickIndex(
+          fault::kSchedSpuriousAbort, victims.size())];
+      const Status status = Abort(victim);
+      MQPI_DCHECK(status.ok());
+    }
+  }
+  double factor = fault_->ScaleOr(fault::kSchedRateCollapse, 1.0) *
+                  fault_->ScaleOr(fault::kSchedRateSpike, 1.0) *
+                  fault_->ScaleOr(fault::kSchedQuantumOvershoot, 1.0);
+  if (fault_->ShouldFire(fault::kSchedQuantumStall)) factor = 0.0;
+  // A garbage payload (negative, NaN) must not corrupt the pot.
+  if (!(factor >= 0.0) || !std::isfinite(factor)) factor = 0.0;
+  return factor;
 }
 
 void Rdbms::StepOnce(SimTime dt) {
@@ -278,6 +308,8 @@ void Rdbms::StepOnce(SimTime dt) {
   // inputs (remaining costs, the forecast origin) change even when no
   // lifecycle event fires.
   ++load_epoch_;
+  const double fault_factor =
+      fault_ != nullptr && fault_->enabled() ? ApplyStepFaults() : 1.0;
   AdmitFromQueue();
 
   // Gather the active (running, unblocked) set and its total weight.
@@ -299,9 +331,14 @@ void Rdbms::StepOnce(SimTime dt) {
   span.arg("active", static_cast<double>(active.size()));
 
   if (!active.empty() && total_weight > 0.0) {
+    // Injected rate faults stack multiplicatively on the perturbation
+    // model's MPL-dependent factor: a collapse squeezes the quantum's
+    // capacity, an overshoot inflates it, a stall zeroes it (the clock
+    // still advances, so the PI sees a quantum with no progress).
     const double rate =
         options_.processing_rate *
-        perturbation_.AggregateRateFactor(static_cast<int>(active.size()));
+        perturbation_.AggregateRateFactor(static_cast<int>(active.size())) *
+        fault_factor;
     // The quantum's real capacity; system_carry_ repays any operator
     // overshoot from the previous quantum.
     WorkUnits pot = rate * dt + system_carry_;
@@ -383,8 +420,7 @@ void Rdbms::StepOnce(SimTime dt) {
     }
     for (QueryId id : expired) {
       const Status status = Abort(id);
-      assert(status.ok());
-      (void)status;
+      MQPI_DCHECK(status.ok());
     }
   }
 

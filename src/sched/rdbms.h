@@ -40,6 +40,10 @@ namespace mqpi::obs {
 class Tracer;
 }  // namespace mqpi::obs
 
+namespace mqpi::fault {
+class FaultInjector;
+}  // namespace mqpi::fault
+
 namespace mqpi::sched {
 
 enum class QueryState {
@@ -213,6 +217,16 @@ class Rdbms {
   /// start, block/resume, priority change, finish, abort).
   void AddEventListener(std::function<void(const QueryEvent&)> fn);
 
+  /// Attaches a chaos harness (nullptr detaches). The injector is not
+  /// owned and must outlive stepping. Once attached, every quantum
+  /// evaluates the `sched.*` fault points (spurious aborts, admission
+  /// flaps, rate collapse/spike, quantum stall/overshoot) before
+  /// serving work; an unarmed injector costs one branch per quantum.
+  void SetFaultInjector(fault::FaultInjector* injector) {
+    fault_ = injector;
+  }
+  fault::FaultInjector* fault_injector() const { return fault_; }
+
   /// The planner (shared cost model / noise stream) — used by
   /// experiments to dry-run specs for ground truth.
   engine::Planner* planner() { return planner_.get(); }
@@ -224,6 +238,10 @@ class Rdbms {
 
   void AdmitFromQueue();
   void StepOnce(SimTime dt);
+  /// Evaluates the per-quantum sched fault points; returns the rate
+  /// multiplier the injected faults impose on this quantum (1 when
+  /// quiet, 0 for a stalled quantum).
+  double ApplyStepFaults();
   QueryInfo MakeInfo(const Record& record) const;
   Record* Find(QueryId id);
 
@@ -234,6 +252,7 @@ class Rdbms {
   std::unique_ptr<storage::BufferManager> buffers_;
   std::unique_ptr<engine::Planner> planner_;
   PerturbationModel perturbation_;
+  fault::FaultInjector* fault_ = nullptr;  // optional chaos harness
   bool admission_open_ = true;
 
   /// Negative when the previous quantum's last served operator step

@@ -1,9 +1,11 @@
 #include "service/pi_service.h"
 
 #include <algorithm>
-#include <cassert>
+#include <cmath>
 #include <utility>
 
+#include "common/logging.h"
+#include "fault/fault_injector.h"
 #include "service/session.h"
 
 namespace mqpi::service {
@@ -49,6 +51,7 @@ std::vector<double> BiasBounds() {
 PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
     : options_(std::move(options)),
       db_(std::make_unique<sched::Rdbms>(catalog, options_.rdbms)),
+      fault_(options_.fault),
       auditor_(ResolveAuditorOptions(options_)),
       tracer_(obs::GlobalTracer()) {
   if (options_.future_prior.lambda > 0.0 ||
@@ -61,6 +64,10 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   }
   pis_ = std::make_unique<pi::PiManager>(
       db_.get(), ForceAutoTrack(options_.pi), future_.get());
+  if (fault_ != nullptr) {
+    db_->SetFaultInjector(fault_);
+    pis_->SetFaultInjector(fault_);
+  }
 
   // Accounting hook: runs under state_mu_ (every Rdbms mutation goes
   // through a service method that holds it).
@@ -99,6 +106,12 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   snapshot_reads_ = metrics_.counter("service.snapshot_reads");
   forecast_cache_hit_ = metrics_.counter("pi.forecast_cache_hit");
   forecast_cache_miss_ = metrics_.counter("pi.forecast_cache_miss");
+  stale_snapshots_ = metrics_.counter("service.stale_snapshots");
+  watchdog_restarts_ = metrics_.counter("service.watchdog_restarts");
+  submits_shed_ = metrics_.counter("service.submits_shed");
+  degraded_estimates_ = metrics_.counter("pi.degraded_estimates");
+  rate_floor_hits_ = metrics_.counter("pi.rate_floor_hits");
+  corrupt_rate_samples_ = metrics_.counter("pi.corrupt_rate_samples");
   step_wall_ms_ = metrics_.histogram("step.wall_ms");
   snapshot_age_ms_ = metrics_.histogram("snapshot.age_ms");
 
@@ -168,6 +181,17 @@ Result<QueryId> PiService::SessionSubmit(std::uint64_t session_id,
           "session " + std::to_string(session_id) + " is at its inflight "
           "cap of " + std::to_string(options_.max_inflight_per_session));
     }
+    // Overload shedding: a bounded admission queue rejects rather than
+    // letting a flooded service grow its backlog (and its snapshot and
+    // forecast cost) without limit.
+    if (options_.max_queued_queries > 0 &&
+        static_cast<std::uint64_t>(db_->num_queued()) >=
+            options_.max_queued_queries) {
+      submits_shed_->Increment();
+      return Status::ResourceExhausted(
+          "admission queue is at its cap of " +
+          std::to_string(options_.max_queued_queries) + " queries");
+    }
     auto submitted = db_->Submit(spec, priority);
     if (!submitted.ok()) {
       metrics_.counter("service.submit_errors")->Increment();
@@ -194,6 +218,14 @@ Status PiService::SessionSubmitAt(std::uint64_t session_id, SimTime time,
     if (FindSessionLocked(session_id) == nullptr) {
       return Status::FailedPrecondition("session closed");
     }
+    if (options_.max_pending_arrivals > 0 &&
+        static_cast<std::uint64_t>(arrivals_.size()) >=
+            options_.max_pending_arrivals) {
+      submits_shed_->Increment();
+      return Status::ResourceExhausted(
+          "scheduled-arrival backlog is at its cap of " +
+          std::to_string(options_.max_pending_arrivals));
+    }
     ScheduledSubmit arrival;
     arrival.time = time;
     arrival.session_id = session_id;
@@ -216,6 +248,10 @@ Status PiService::SessionControl(std::uint64_t session_id, QueryId id,
       return Status::FailedPrecondition("session closed");
     }
     MQPI_RETURN_NOT_OK(CheckOwnedLocked(session_id, id));
+    if (fault_ != nullptr && fault_->enabled() &&
+        fault_->ShouldFire(fault::kServiceSessionControlFail)) {
+      return Status::Internal("injected fault: session control failed");
+    }
     switch (op) {
       case sched::QueryEventKind::kBlocked:
         status = db_->Block(id);
@@ -296,6 +332,14 @@ void PiService::SubmitDueArrivalsLocked() {
     arrivals_.pop();
     SessionState* session = FindSessionLocked(arrival.session_id);
     if (session == nullptr) continue;  // closed since scheduling
+    if (options_.max_queued_queries > 0 &&
+        static_cast<std::uint64_t>(db_->num_queued()) >=
+            options_.max_queued_queries) {
+      // The admission queue is full at the arrival's due time: shed it,
+      // same as a live Submit would have been.
+      submits_shed_->Increment();
+      continue;
+    }
     auto submitted = db_->Submit(arrival.spec, arrival.priority);
     if (!submitted.ok()) {
       metrics_.counter("service.submit_errors")->Increment();
@@ -314,24 +358,57 @@ void PiService::StepAndPublish(SimTime dt) {
   obs::TraceSpan span(tracer_, "service", "step_and_publish");
   const auto start = WallClock::now();
   std::shared_ptr<ProgressSnapshot> snapshot;
+  bool delayed = false;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     SubmitDueArrivalsLocked();
     db_->Step(dt);
     pis_->AfterStep();
-    snapshot = BuildSnapshotLocked();
+    delayed = fault_ != nullptr && fault_->enabled() &&
+              fault_->ShouldFire(fault::kServicePublishDelay);
+    if (!delayed) {
+      snapshot = BuildSnapshotLocked();
+      metrics_.gauge("queries.running")->Set(snapshot->num_running);
+      metrics_.gauge("queries.queued")->Set(snapshot->num_queued);
+      metrics_.gauge("queries.blocked")->Set(snapshot->num_blocked);
+      metrics_.gauge("service.sim_time")->Set(snapshot->sim_time);
+    }
     RecordForecastCacheMetricsLocked();
-    metrics_.gauge("queries.running")->Set(snapshot->num_running);
-    metrics_.gauge("queries.queued")->Set(snapshot->num_queued);
-    metrics_.gauge("queries.blocked")->Set(snapshot->num_blocked);
-    metrics_.gauge("service.sim_time")->Set(snapshot->sim_time);
+    RecordDegradationMetricsLocked();
   }
-  span.arg("t", snapshot->sim_time);
-  span.arg("queries", static_cast<double>(snapshot->queries.size()));
-  if (options_.enable_auditor) FeedAuditor(*snapshot);
-  Publish(std::move(snapshot));
+  if (delayed) {
+    // Publication is down this quantum: readers keep the previous
+    // content, but honestly tagged with its age (and, past the
+    // threshold, a degraded flag) instead of silently frozen.
+    PublishStaleCopy();
+  } else {
+    span.arg("t", snapshot->sim_time);
+    span.arg("queries", static_cast<double>(snapshot->queries.size()));
+    // Stale re-publications never reach the auditor — scoring the same
+    // estimates twice would double-count trajectory samples.
+    if (options_.enable_auditor) FeedAuditor(*snapshot);
+    Publish(std::move(snapshot));
+  }
   quanta_stepped_->Increment();
   step_wall_ms_->Observe(MsSince(start));
+}
+
+void PiService::PublishStaleCopy() {
+  SnapshotPtr last;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    last = snapshot_;
+  }
+  if (!MQPI_DCHECK(last != nullptr)) return;
+  auto stale = std::make_shared<ProgressSnapshot>(*last);
+  stale->age_quanta = last->age_quanta + 1;
+  stale->degraded = stale->age_quanta >= options_.stale_snapshot_quanta;
+  stale_snapshots_->Increment();
+  if (tracer_->enabled()) {
+    tracer_->Instant("service", "stale_snapshot", kInvalidQueryId, "age",
+                     static_cast<double>(stale->age_quanta));
+  }
+  Publish(std::move(stale));
 }
 
 void PiService::FeedAuditor(const ProgressSnapshot& snapshot) {
@@ -397,6 +474,27 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
   snapshot->quiescent_eta =
       forecast.ok() ? (*forecast)->quiescent_time() : kUnknown;
 
+  // Publication guardrail: an ETA reaches readers as a finite,
+  // non-negative, within-horizon number or as one of the two honest
+  // sentinels (kUnknown "no estimate", kInfiniteTime "blocked /
+  // beyond horizon / invisible to this estimator") — never NaN, never
+  // negative, never a finite absurdity past the forecast horizon (the
+  // signature of a denormal-speed division). A non-credible value is
+  // degraded to the query's last credible published ETA (kUnknown when
+  // none exists yet), the row is flagged, and the event is counted.
+  const SimTime horizon = options_.pi.multi.horizon;
+  const auto guard = [&](QueryProgress* query, SimTime eta,
+                         SimTime* last_good) {
+    if (eta == kUnknown || eta == kInfiniteTime) return eta;  // sentinels
+    if (std::isfinite(eta) && eta >= 0.0 && eta <= horizon) {
+      *last_good = eta;
+      return eta;
+    }
+    query->degraded = true;
+    degraded_estimates_->Increment();
+    return *last_good;
+  };
+
   const auto infos = db_->AllQueries();  // sorted by id
   snapshot->queries.reserve(infos.size());
   for (const auto& info : infos) {
@@ -439,14 +537,20 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
         [[fallthrough]];
       }
       case sched::QueryState::kRunning: {
-        query.eta_single = pis_->EstimateSingle(info.id).value_or(kUnknown);
-        if (forecast.ok()) {
-          query.eta_multi =
-              (*forecast)->FinishTimeOf(info.id).value_or(kUnknown);
-        }
+        LastGoodEta& good = last_good_eta_[info.id];
+        query.eta_single =
+            guard(&query, pis_->EstimateSingle(info.id).value_or(kUnknown),
+                  &good.single);
+        query.eta_multi =
+            guard(&query,
+                  forecast.ok()
+                      ? (*forecast)->FinishTimeOf(info.id).value_or(kUnknown)
+                      : kUnknown,
+                  &good.multi);
         break;
       }
     }
+    if (query.terminal()) last_good_eta_.erase(info.id);
 
     switch (info.state) {
       case sched::QueryState::kRunning:
@@ -486,10 +590,42 @@ void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
 void PiService::RecordForecastCacheMetricsLocked() {
   const std::uint64_t hits = pis_->multi()->forecast_cache_hits();
   const std::uint64_t misses = pis_->multi()->forecast_cache_misses();
+  if (!MQPI_DCHECK(hits >= seen_cache_hits_ &&
+                   misses >= seen_cache_misses_)) {
+    seen_cache_hits_ = hits;
+    seen_cache_misses_ = misses;
+    return;
+  }
   forecast_cache_hit_->Increment(hits - seen_cache_hits_);
   forecast_cache_miss_->Increment(misses - seen_cache_misses_);
   seen_cache_hits_ = hits;
   seen_cache_misses_ = misses;
+}
+
+void PiService::RecordDegradationMetricsLocked() {
+  const pi::MultiQueryPi* multi = pis_->multi();
+  const auto sync = [](Counter* counter, std::uint64_t total,
+                       std::uint64_t* seen) {
+    if (total > *seen) counter->Increment(total - *seen);
+    *seen = total;
+  };
+  sync(rate_floor_hits_, multi->rate_floor_hits(), &seen_rate_floor_hits_);
+  sync(corrupt_rate_samples_, multi->corrupt_rate_samples(),
+       &seen_corrupt_rate_samples_);
+  sync(degraded_estimates_, multi->degraded_estimates(),
+       &seen_degraded_estimates_);
+  if (fault_ == nullptr) return;
+  // Per-point fire counts, labeled by fault-point name. The catalog
+  // names are string literals with stable addresses, so the seen-map
+  // can key on the pointer.
+  for (const auto& stat : fault_->Stats()) {
+    std::uint64_t* seen = &seen_fault_fires_[stat.point];
+    if (stat.fires > *seen) {
+      metrics_.counter("fault.injected", {{"point", stat.point}})
+          ->Increment(stat.fires - *seen);
+      *seen = stat.fires;
+    }
+  }
 }
 
 void PiService::PublishNow() {
@@ -523,17 +659,47 @@ SnapshotPtr PiService::snapshot() const {
 
 // ---- ticker -----------------------------------------------------------------
 
+bool PiService::ticking() const {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  return ticker_.joinable() && !stop_requested();
+}
+
 void PiService::Start() {
-  if (ticker_.joinable()) return;
   stop_.store(false, std::memory_order_release);
-  ticker_ = std::thread([this] { TickerLoop(); });
+  StartTickerThread();
+  if (options_.watchdog.enabled && !watchdog_.joinable()) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 void PiService::Stop() {
   stop_.store(true, std::memory_order_release);
   wake_cv_.notify_all();
-  if (ticker_.joinable()) ticker_.join();
-  ticker_ = std::thread();
+  watchdog_cv_.notify_all();
+  // Watchdog first: it may be mid-restart, manipulating the ticker
+  // thread itself. Once it has exited, the ticker object is ours.
+  if (watchdog_.joinable()) watchdog_.join();
+  watchdog_ = std::thread();
+  StopTickerThread();
+}
+
+void PiService::StartTickerThread() {
+  std::lock_guard<std::mutex> lock(ticker_mu_);
+  if (ticker_.joinable()) return;
+  ticker_stop_.store(false, std::memory_order_release);
+  ticker_ = std::thread([this] { TickerLoop(); });
+}
+
+void PiService::StopTickerThread() {
+  std::thread victim;
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    ticker_stop_.store(true, std::memory_order_release);
+    victim = std::move(ticker_);
+    ticker_ = std::thread();
+  }
+  wake_cv_.notify_all();
+  if (victim.joinable()) victim.join();
 }
 
 void PiService::NotifyWork() {
@@ -547,7 +713,7 @@ void PiService::NotifyWork() {
 void PiService::TickerLoop() {
   const SimTime quantum = options_.rdbms.quantum;
   auto next_tick = WallClock::now();
-  while (!stop_requested()) {
+  while (!stop_requested() && !ticker_stop_requested()) {
     std::uint64_t seen_epoch;
     {
       std::lock_guard<std::mutex> lock(wake_mu_);
@@ -562,11 +728,31 @@ void PiService::TickerLoop() {
       std::unique_lock<std::mutex> lock(wake_mu_);
       wake_cv_.wait(lock, [&] {
         return stop_.load(std::memory_order_acquire) ||
+               ticker_stop_.load(std::memory_order_acquire) ||
                work_epoch_ != seen_epoch;
       });
       // Don't try to "catch up" wall time spent parked.
       next_tick = WallClock::now();
       continue;
+    }
+
+    if (fault_ != nullptr && fault_->enabled()) {
+      const auto stall = fault_->Evaluate(fault::kServiceTickerStall);
+      if (stall.fired) {
+        // The failure mode the watchdog exists for: the ticker goes
+        // deaf — no stepping, no publication, and (unlike the idle
+        // park) no reaction to work notifications. Only stall expiry,
+        // a watchdog kill, or service stop end it.
+        const double stall_s = stall.value > 0.0 ? stall.value : 60.0;
+        std::unique_lock<std::mutex> lock(wake_mu_);
+        wake_cv_.wait_for(
+            lock, std::chrono::duration<double>(stall_s), [&] {
+              return stop_.load(std::memory_order_acquire) ||
+                     ticker_stop_.load(std::memory_order_acquire);
+            });
+        next_tick = WallClock::now();
+        continue;
+      }
     }
 
     StepAndPublish(quantum);
@@ -576,18 +762,76 @@ void PiService::TickerLoop() {
           std::chrono::duration<double>(quantum / options_.time_scale));
       std::unique_lock<std::mutex> lock(wake_mu_);
       wake_cv_.wait_until(lock, next_tick, [&] {
-        return stop_.load(std::memory_order_acquire);
+        return stop_.load(std::memory_order_acquire) ||
+               ticker_stop_.load(std::memory_order_acquire);
       });
     }
+  }
+}
+
+void PiService::WatchdogLoop() {
+  const WatchdogOptions& wd = options_.watchdog;
+  double backoff_s = wd.backoff_initial_s;
+  const auto interruptible_sleep = [&](double seconds) {
+    std::unique_lock<std::mutex> lock(watchdog_mu_);
+    watchdog_cv_.wait_for(lock, std::chrono::duration<double>(seconds),
+                          [&] { return stop_requested(); });
+  };
+  while (!stop_requested()) {
+    interruptible_sleep(wd.poll_interval_s);
+    if (stop_requested()) break;
+    {
+      std::lock_guard<std::mutex> lock(ticker_mu_);
+      if (!ticker_.joinable()) continue;  // stopped deliberately
+    }
+    bool busy;
+    {
+      std::lock_guard<std::mutex> lock(state_mu_);
+      busy = !IdleLocked();
+    }
+    const auto published =
+        publish_wall_ns_.load(std::memory_order_acquire);
+    const double since_publish_s =
+        std::chrono::duration<double>(
+            WallClock::duration(
+                WallClock::now().time_since_epoch().count() - published))
+            .count();
+    // A paced ticker legitimately publishes only once per tick period;
+    // never call a gap shorter than a few periods a stall.
+    double threshold_s = wd.stall_threshold_s;
+    if (options_.time_scale > 0.0) {
+      threshold_s = std::max(
+          threshold_s, 4.0 * options_.rdbms.quantum / options_.time_scale);
+    }
+    if (!busy || since_publish_s <= threshold_s) {
+      backoff_s = wd.backoff_initial_s;  // healthy: reset the backoff
+      continue;
+    }
+
+    // Stalled: work is pending but nothing has been published for
+    // over the threshold. Replace the ticker thread.
+    StopTickerThread();
+    if (stop_requested()) break;
+    StartTickerThread();
+    watchdog_restarts_->Increment();
+    if (tracer_->enabled()) {
+      tracer_->Instant("service", "watchdog_restart", kInvalidQueryId,
+                       "stalled_s", since_publish_s);
+    }
+    interruptible_sleep(backoff_s);
+    backoff_s = std::min(backoff_s * 2.0, wd.backoff_max_s);
   }
 }
 
 // ---- manual mode ------------------------------------------------------------
 
 Status PiService::Advance(SimTime dt) {
-  if (ticker_.joinable()) {
-    return Status::FailedPrecondition(
-        "Advance() is for manual mode; a ticker thread is running");
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    if (ticker_.joinable()) {
+      return Status::FailedPrecondition(
+          "Advance() is for manual mode; a ticker thread is running");
+    }
   }
   if (dt < 0.0) return Status::InvalidArgument("dt must be >= 0");
   const SimTime quantum = options_.rdbms.quantum;
@@ -601,9 +845,13 @@ Status PiService::Advance(SimTime dt) {
 }
 
 Result<SimTime> PiService::AdvanceUntilIdle(SimTime deadline) {
-  if (ticker_.joinable()) {
-    return Status::FailedPrecondition(
-        "AdvanceUntilIdle() is for manual mode; a ticker thread is running");
+  {
+    std::lock_guard<std::mutex> lock(ticker_mu_);
+    if (ticker_.joinable()) {
+      return Status::FailedPrecondition(
+          "AdvanceUntilIdle() is for manual mode; a ticker thread is "
+          "running");
+    }
   }
   const SimTime quantum = options_.rdbms.quantum;
   for (;;) {
@@ -626,8 +874,9 @@ bool PiService::WaitUntilIdle(double timeout_seconds) {
       std::lock_guard<std::mutex> lock(state_mu_);
       if (IdleLocked()) return true;
     }
-    // A stopped ticker can never drain the system.
-    if (!ticker_.joinable() || stop_requested()) {
+    // A stopped ticker can never drain the system — but a missing
+    // ticker with a live watchdog is just a restart in flight.
+    if (stop_requested() || (!ticking() && !watchdog_.joinable())) {
       std::lock_guard<std::mutex> lock(state_mu_);
       return IdleLocked();
     }

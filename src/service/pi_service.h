@@ -57,9 +57,33 @@
 #include "service/metrics.h"
 #include "service/snapshot.h"
 
+namespace mqpi::fault {
+class FaultInjector;
+}  // namespace mqpi::fault
+
 namespace mqpi::service {
 
 class Session;
+
+/// Watchdog over the ticker thread (ticker mode only): a busy system
+/// whose ticker has published nothing for `stall_threshold_s` wall
+/// seconds is declared stalled; the watchdog kills and restarts the
+/// ticker thread, with capped exponential backoff between successive
+/// restarts so a persistently faulty ticker cannot spin the watchdog.
+/// Every restart increments `service.watchdog_restarts`.
+struct WatchdogOptions {
+  bool enabled = true;
+  /// Wall seconds between health checks.
+  double poll_interval_s = 0.05;
+  /// Busy + no publication for this long (wall seconds) = stalled.
+  /// Automatically raised to cover several paced tick periods when
+  /// `time_scale` > 0, so pacing gaps are never misread as stalls.
+  double stall_threshold_s = 0.5;
+  /// Backoff after a restart before the next stall verdict; doubles
+  /// per consecutive restart, capped, and resets once publishes flow.
+  double backoff_initial_s = 0.1;
+  double backoff_max_s = 2.0;
+};
 
 struct PiServiceOptions {
   /// Engine configuration (rate C, quantum, MPL, perturbations...).
@@ -92,6 +116,25 @@ struct PiServiceOptions {
   bool enable_auditor = true;
   /// Auditor tuning: trajectory caps, convergence band, truth cutoff.
   obs::AuditorOptions auditor;
+  /// Optional chaos harness (not owned; must outlive the service).
+  /// Wired into the Rdbms, the multi-query PI, and the service's own
+  /// `service.*` fault points. Null = zero fault machinery on any hot
+  /// path beyond a single branch.
+  fault::FaultInjector* fault = nullptr;
+  /// Ticker-thread watchdog (ticker mode only; see WatchdogOptions).
+  WatchdogOptions watchdog;
+  /// Overload shedding: Submit fails with ResourceExhausted when the
+  /// admission queue already holds this many queries (0 = unbounded).
+  /// Counted in `service.submits_shed`.
+  std::uint64_t max_queued_queries = 0;
+  /// SubmitAt fails with ResourceExhausted when this many scheduled
+  /// arrivals are already pending (0 = unbounded).
+  std::uint64_t max_pending_arrivals = 0;
+  /// Staleness tagging: when publication is delayed (fault or outage)
+  /// the previous snapshot is re-published with `age_quanta`
+  /// incremented; once the age reaches this many quanta the snapshot
+  /// is flagged `degraded` so readers can distrust it.
+  int stale_snapshot_quanta = 4;
 };
 
 class PiService {
@@ -114,13 +157,15 @@ class PiService {
 
   // ---- ticker control -------------------------------------------------------
 
-  /// Starts the ticker if not running (no-op in manual mode after the
-  /// constructor already started it per options).
+  /// Starts the ticker (and watchdog, when enabled) if not running
+  /// (no-op in manual mode after the constructor already started it
+  /// per options).
   void Start();
-  /// Stops and joins the ticker; queries keep their state and a final
-  /// snapshot stays readable. Safe to call with queries still running.
+  /// Stops and joins the ticker and watchdog; queries keep their state
+  /// and a final snapshot stays readable. Safe to call with queries
+  /// still running.
   void Stop();
-  bool ticking() const { return ticker_.joinable() && !stop_requested(); }
+  bool ticking() const;
 
   /// Manual mode only: synchronously advance simulated time by `dt`,
   /// submitting due scheduled arrivals, feeding PIs, and publishing
@@ -218,6 +263,10 @@ class PiService {
   // Steps one quantum (or `dt`) and publishes a snapshot. Grabs
   // state_mu_ itself.
   void StepAndPublish(SimTime dt);
+  // Publication-delay degradation: re-publishes a copy of the current
+  // snapshot with `age_quanta` bumped and the degraded flag applied
+  // past the staleness threshold.
+  void PublishStaleCopy();
   // Feeds a freshly built snapshot's rows to the auditor and publishes
   // accuracy metrics for queries that just completed. The auditor is
   // internally locked; called after state_mu_ is released.
@@ -228,9 +277,18 @@ class PiService {
   void Publish(std::shared_ptr<ProgressSnapshot> snapshot);
 
   void TickerLoop();
+  void WatchdogLoop();
+  // Spawn/kill just the ticker thread (both lock ticker_mu_). The
+  // watchdog uses this pair to replace a stalled ticker without
+  // touching the service-wide stop flag.
+  void StartTickerThread();
+  void StopTickerThread();
   void NotifyWork();
   bool stop_requested() const {
     return stop_.load(std::memory_order_acquire);
+  }
+  bool ticker_stop_requested() const {
+    return ticker_stop_.load(std::memory_order_acquire);
   }
 
   const PiServiceOptions options_;
@@ -254,16 +312,30 @@ class PiService {
   std::uint64_t published_ = 0;
   std::atomic<std::chrono::steady_clock::rep> publish_wall_ns_{0};
 
-  // Ticker machinery.
+  // Ticker machinery. `stop_` stops the whole service; `ticker_stop_`
+  // stops only the ticker thread (the watchdog's restart lever).
+  // `ticker_mu_` guards the ticker thread object itself: the watchdog
+  // and the owner thread (Start/Stop/Advance/ticking) both touch it.
   std::mutex wake_mu_;
   std::condition_variable wake_cv_;
   std::uint64_t work_epoch_ = 0;  // guarded by wake_mu_
   std::atomic<bool> stop_{false};
-  std::thread ticker_;
+  std::atomic<bool> ticker_stop_{false};
+  mutable std::mutex ticker_mu_;
+  std::thread ticker_;  // guarded by ticker_mu_
+
+  // Watchdog machinery (thread managed by Start/Stop only).
+  std::mutex watchdog_mu_;
+  std::condition_variable watchdog_cv_;
+  std::thread watchdog_;
 
   // Requires state_mu_. Publishes the PI forecast-cache deltas since
   // the last call into the hit/miss counters.
   void RecordForecastCacheMetricsLocked();
+  // Requires state_mu_. Publishes PI degradation-counter deltas
+  // (rate-floor clamps, corrupt window samples, degraded estimates)
+  // and per-point fault-fire counts.
+  void RecordDegradationMetricsLocked();
 
   MetricsRegistry metrics_;
   // Hot-path instruments, resolved once.
@@ -272,11 +344,34 @@ class PiService {
   Counter* snapshot_reads_;
   Counter* forecast_cache_hit_;
   Counter* forecast_cache_miss_;
+  Counter* stale_snapshots_;
+  Counter* watchdog_restarts_;
+  Counter* submits_shed_;
+  Counter* degraded_estimates_;
+  Counter* rate_floor_hits_;
+  Counter* corrupt_rate_samples_;
   Histogram* step_wall_ms_;
   Histogram* snapshot_age_ms_;
   // Last PI cache totals already published (guarded by state_mu_).
   std::uint64_t seen_cache_hits_ = 0;
   std::uint64_t seen_cache_misses_ = 0;
+  // Last PI degradation totals already published (guarded by state_mu_).
+  std::uint64_t seen_rate_floor_hits_ = 0;
+  std::uint64_t seen_corrupt_rate_samples_ = 0;
+  std::uint64_t seen_degraded_estimates_ = 0;
+  // Last per-fault-point fire totals already published (state_mu_).
+  std::unordered_map<const void*, std::uint64_t> seen_fault_fires_;
+
+  // Last credible (finite, within-horizon) published ETA per live
+  // query — the carry value when an estimator degrades. Guarded by
+  // state_mu_; mutable because snapshot building is logically const.
+  struct LastGoodEta {
+    SimTime single = kUnknown;
+    SimTime multi = kUnknown;
+  };
+  mutable std::unordered_map<QueryId, LastGoodEta> last_good_eta_;
+
+  fault::FaultInjector* const fault_;  // == options_.fault, cached
 
   obs::EstimateAuditor auditor_;
   obs::Tracer* tracer_;  // the process-wide tracer, cached

@@ -46,8 +46,9 @@ class Session {
   // ---- admission ------------------------------------------------------------
 
   /// Plans and submits a query now; it is owned by this session.
-  /// FailedPrecondition when the session is closed or at its
-  /// inflight cap.
+  /// FailedPrecondition when the session is closed or at its inflight
+  /// cap; ResourceExhausted when the service sheds the submit because
+  /// the admission queue is at its configured bound.
   Result<QueryId> Submit(const engine::QuerySpec& spec,
                          Priority priority = Priority::kNormal);
 

@@ -51,6 +51,11 @@ struct QueryProgress {
   SimTime arrival_time = 0.0;
   SimTime start_time = kUnknown;
   SimTime finish_time = kUnknown;
+  /// An estimator produced a non-credible value (NaN, negative,
+  /// infinite or beyond-horizon for a non-blocked query) and the
+  /// published ETA is a degraded stand-in: the last credible estimate
+  /// if one exists, kUnknown otherwise.
+  bool degraded = false;
 
   bool terminal() const {
     return state == sched::QueryState::kFinished ||
@@ -72,6 +77,13 @@ struct ProgressSnapshot {
   /// Forecast system quiescent time (§3.3), relative to sim_time;
   /// kUnknown when the forecast failed, kInfiniteTime past horizon.
   SimTime quiescent_eta = kUnknown;
+  /// Quanta executed since this snapshot's content was built. 0 for a
+  /// fresh snapshot; grows when publication is delayed (fault/outage)
+  /// and the service re-publishes the previous content.
+  int age_quanta = 0;
+  /// Content is at least `stale_snapshot_quanta` quanta old — readers
+  /// should treat every estimate in it as suspect.
+  bool degraded = false;
   /// All queries ever submitted, sorted by id (terminal ones included
   /// so sessions can observe their final states).
   std::vector<QueryProgress> queries;
