@@ -51,6 +51,9 @@ RunResult RunScenario(int n, int quanta, bool cached) {
   pi::PiManagerOptions pm;
   pm.sample_interval = options.quantum;  // sample every quantum
   pm.multi.enable_forecast_cache = cached;
+  // This bench isolates the forecast cache; the incremental engine
+  // would bypass it entirely (see bench_incremental_forecast).
+  pm.multi.enable_incremental = false;
   pi::PiManager pis(&db, pm);
 
   std::vector<QueryId> ids;

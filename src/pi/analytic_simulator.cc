@@ -4,6 +4,7 @@
 #include <deque>
 #include <queue>
 #include <string>
+#include <unordered_set>
 
 namespace mqpi::pi {
 
@@ -72,8 +73,26 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
   if (has_virtual && options.virtual_weight <= 0.0) {
     return Status::InvalidArgument("virtual weight must be positive");
   }
-  for (const QueryLoad& q : running) MQPI_RETURN_NOT_OK(ValidateLoad(q));
-  for (const QueryLoad& q : queued) MQPI_RETURN_NOT_OK(ValidateLoad(q));
+  // A duplicated id would silently skew the model: the id->finish
+  // index keeps the first copy's time while the second still consumes
+  // simulated capacity. Reject instead.
+  std::unordered_set<QueryId> seen;
+  seen.reserve(running.size() + queued.size() + arrivals.size());
+  const auto check_unique = [&seen](QueryId id) {
+    if (id != kInvalidQueryId && !seen.insert(id).second) {
+      return Status::InvalidArgument("query " + std::to_string(id) +
+                                     " appears more than once in the load");
+    }
+    return Status::OK();
+  };
+  for (const QueryLoad& q : running) {
+    MQPI_RETURN_NOT_OK(ValidateLoad(q));
+    MQPI_RETURN_NOT_OK(check_unique(q.id));
+  }
+  for (const QueryLoad& q : queued) {
+    MQPI_RETURN_NOT_OK(ValidateLoad(q));
+    MQPI_RETURN_NOT_OK(check_unique(q.id));
+  }
   for (const FutureArrival& a : arrivals) {
     if (a.time < 0.0) {
       return Status::InvalidArgument("arrival time must be >= 0");
@@ -81,6 +100,7 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
     if (a.weight <= 0.0 || a.cost < 0.0) {
       return Status::InvalidArgument("arrival has invalid cost/weight");
     }
+    MQPI_RETURN_NOT_OK(check_unique(a.id));
   }
   std::sort(arrivals.begin(), arrivals.end(),
             [](const FutureArrival& a, const FutureArrival& b) {

@@ -2,14 +2,26 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "common/logging.h"
 #include "fault/fault_injector.h"
 #include "obs/tracer.h"
 
 namespace mqpi::pi {
+
+namespace {
+// Drift-repair tolerance: an engine-mirrored remaining cost may differ
+// from the Rdbms's authoritative estimate by accumulated rounding of
+// the proportional-progress bumps; anything beyond a few hundred ULP
+// (operator-granularity overshoot, speed-multiplier perturbations,
+// multi-quantum steps) is re-anchored with an O(log n) Update so fast-
+// path estimates stay within float rounding of the simulator's.
+constexpr double kDriftRelTolerance = 1e-9;
+}  // namespace
 
 MultiQueryPi::MultiQueryPi(const sched::Rdbms* db,
                            MultiQueryPiOptions options,
@@ -25,6 +37,134 @@ MultiQueryPi::MultiQueryPi(const sched::Rdbms* db,
   for (const auto& info : db_->AllQueries()) {
     last_seen_id_ = std::max(last_seen_id_, info.id);
   }
+}
+
+void MultiQueryPi::AttachLifecycleEvents(sched::Rdbms* db) {
+  if (!MQPI_DCHECK(db == db_)) return;
+  db->AddEventListener(
+      [this](const sched::QueryEvent& event) { OnQueryEvent(event); });
+}
+
+void MultiQueryPi::OnQueryEvent(const sched::QueryEvent& event) {
+  if (!options_.enable_incremental || !engine_synced_) return;
+  const std::uint64_t db_structural = db_->structural_epoch();
+  const std::uint64_t db_load = db_->load_epoch();
+  // Continuity proof: this event's Emit bumped the structural epoch by
+  // one, so the engine may absorb it as a delta only if it already
+  // reflected everything before it. A gap means a masked structural
+  // change (e.g. a surviving fast-forward, which re-anchors a cost
+  // without emitting an event) — resync instead of guessing.
+  if (engine_structural_epoch_ + 1 != db_structural) {
+    engine_synced_ = false;
+    return;
+  }
+  // The event also bumped the load epoch; if the engine was current on
+  // that axis too, it stays current after the delta. Mid-quantum
+  // events (a finish inside StepOnce, before ObserveStep applied the
+  // quantum's progress bump) leave the load epoch stale on purpose so
+  // estimates fall back until the bump lands.
+  const bool was_current = engine_load_epoch_ + 1 == db_load;
+
+  const sched::QueryInfo& info = event.info;
+  Status applied = Status::OK();
+  switch (event.kind) {
+    case sched::QueryEventKind::kSubmitted:
+      break;  // queued queries are not modelled; the gate handles them
+    case sched::QueryEventKind::kStarted:
+    case sched::QueryEventKind::kResumed:
+      applied = engine_.Insert(info.id, info.estimated_remaining_cost,
+                               info.weight);
+      break;
+    case sched::QueryEventKind::kBlocked:
+    case sched::QueryEventKind::kFinished:
+    case sched::QueryEventKind::kAborted:
+      // Aborts/finishes can target queued queries the engine never
+      // held; absence is not an error.
+      if (engine_.Contains(info.id)) applied = engine_.Remove(info.id);
+      break;
+    case sched::QueryEventKind::kPriorityChanged:
+      if (engine_.Contains(info.id)) {
+        applied = engine_.Update(info.id, info.estimated_remaining_cost,
+                                 info.weight);
+      }
+      break;
+  }
+  if (!applied.ok()) {
+    engine_synced_ = false;  // impossible delta — let ObserveStep rebuild
+    return;
+  }
+  engine_structural_epoch_ = db_structural;
+  if (was_current) engine_load_epoch_ = db_load;
+}
+
+void MultiQueryPi::RebuildEngine(
+    const std::vector<sched::QueryInfo>& running) {
+  engine_.Clear();
+  for (const auto& info : running) {
+    const Status inserted = engine_.Insert(
+        info.id, info.estimated_remaining_cost, info.weight);
+    if (!inserted.ok()) {
+      // Degenerate load (e.g. a non-positive weight) cannot be
+      // mirrored; estimates stay on the simulator path, which reports
+      // the condition properly.
+      engine_.Clear();
+      engine_synced_ = false;
+      return;
+    }
+  }
+  ++incremental_resyncs_;
+  engine_synced_ = true;
+  engine_structural_epoch_ = db_->structural_epoch();
+  engine_load_epoch_ = db_->load_epoch();
+}
+
+void MultiQueryPi::SyncEngine(
+    const std::vector<sched::QueryInfo>& running) {
+  const std::uint64_t db_structural = db_->structural_epoch();
+  const std::uint64_t db_load = db_->load_epoch();
+  if (!engine_synced_ || engine_structural_epoch_ != db_structural ||
+      engine_.size() != running.size()) {
+    RebuildEngine(running);
+    return;
+  }
+  if (engine_load_epoch_ == db_load) return;  // nothing moved
+
+  // Progress-only epoch gap: every running query consumed w_i * dx of
+  // work, so the whole quantum is one offset bump at
+  // dx = total consumed / total weight.
+  WorkUnits consumed = 0.0;
+  double total_weight = 0.0;
+  for (const auto& info : running) {
+    consumed += info.consumed_last_step;
+    total_weight += info.weight;
+  }
+  if (consumed > 0.0 && total_weight > 0.0) {
+    engine_.Advance(consumed / total_weight);
+  }
+
+  // Drift repair: operator-granularity overshoot, perturbed per-query
+  // speeds, or multi-quantum steps make the proportional bump inexact;
+  // re-anchor any query whose mirrored cost left the tolerance band.
+  // O(n) compares, O(log n) per repaired query.
+  for (const auto& info : running) {
+    auto mirrored = engine_.CostOf(info.id);
+    if (!mirrored.ok()) {
+      RebuildEngine(running);  // membership mismatch — stale mirror
+      return;
+    }
+    const WorkUnits authoritative = info.estimated_remaining_cost;
+    const double scale = std::max(1.0, std::abs(authoritative));
+    if (std::abs(*mirrored - authoritative) >
+        kDriftRelTolerance * scale) {
+      const Status updated =
+          engine_.Update(info.id, authoritative, info.weight);
+      if (!updated.ok()) {
+        engine_synced_ = false;
+        return;
+      }
+    }
+  }
+  engine_load_epoch_ = db_load;
 }
 
 void MultiQueryPi::ObserveStep() {
@@ -89,6 +229,11 @@ void MultiQueryPi::ObserveStep() {
       rate_.Reset();
     }
   }
+
+  // Primary engine sync point: structural drift rebuilds, a plain
+  // quantum is one O(1) virtual-time bump (+ drift repair). Reuses the
+  // `running` infos already fetched for the rate measurement.
+  if (options_.enable_incremental) SyncEngine(running);
 
   // Detect arrivals (ids above the watermark) for the future model.
   if (future_ != nullptr) {
@@ -255,6 +400,36 @@ Result<ForecastResult> MultiQueryPi::ForecastWhatIf(
   return AnalyticSimulator::Forecast(running, queued, {}, ModelOptions());
 }
 
+bool MultiQueryPi::FastPathReady() const {
+  if (!options_.enable_incremental || !engine_synced_) return false;
+  // The engine must mirror the Rdbms exactly: structural epoch for the
+  // membership/weights, load epoch for the quantum's progress bump.
+  if (engine_structural_epoch_ != db_->structural_epoch() ||
+      engine_load_epoch_ != db_->load_epoch()) {
+    return false;
+  }
+  // A non-empty admission queue means future admissions the closed
+  // form does not model (the simulator replays them instead).
+  if (options_.consider_admission_queue && db_->num_queued() > 0) {
+    return false;
+  }
+  // The simulator truncates at max_events / horizon; stay on its
+  // exact regime so both paths agree bit-for-bit (modulo rounding).
+  if (engine_.size() > options_.max_events) return false;
+  const SimTime quiescent = engine_.QuiescentTime(estimated_rate());
+  if (quiescent > options_.horizon) return false;
+  // A virtual (Section 2.4) arrival due before the system quiesces
+  // would join the modelled load mid-forecast — simulator territory.
+  if (future_ != nullptr) {
+    const FutureWorkloadEstimate est = future_->Current();
+    if (est.lambda > 0.0 && est.avg_cost > 0.0 &&
+        quiescent + kTimeEpsilon >= 1.0 / est.lambda) {
+      return false;
+    }
+  }
+  return true;
+}
+
 Result<SimTime> MultiQueryPi::EstimateRemainingTime(
     const sched::QueryInfo& info) const {
   switch (info.state) {
@@ -271,11 +446,77 @@ Result<SimTime> MultiQueryPi::EstimateRemainingTime(
       }
       break;
     case sched::QueryState::kRunning:
+      if (FastPathReady()) {
+        auto eta = engine_.RemainingTime(info.id, estimated_rate());
+        if (eta.ok()) {
+          ++incremental_fast_path_;
+          return SanitizeEta(*eta);
+        }
+        // Unknown to the mirror (shouldn't happen while synced) —
+        // the simulator path below reports it authoritatively.
+      }
       break;
   }
+  if (options_.enable_incremental) ++incremental_fallback_;
   auto forecast = ForecastShared();
   if (!forecast.ok()) return forecast.status();
   auto eta = (*forecast)->FinishTimeOf(info.id);
+  if (!eta.ok()) return eta.status();
+  return SanitizeEta(*eta);
+}
+
+Result<SimTime> MultiQueryPi::QuiescentEta() const {
+  if (FastPathReady()) {
+    ++incremental_fast_path_;
+    return SanitizeEta(engine_.QuiescentTime(estimated_rate()));
+  }
+  if (options_.enable_incremental) ++incremental_fallback_;
+  auto forecast = ForecastShared();
+  if (!forecast.ok()) return forecast.status();
+  return SanitizeEta((*forecast)->quiescent_time());
+}
+
+Result<SimTime> MultiQueryPi::EstimateWhatIf(const WhatIf& scenario,
+                                             QueryId target) const {
+  // Pure-removal scenarios compose from exactly additive point
+  // queries: removing victims never changes the survivors' finish
+  // thresholds, so r' = r - sum of per-victim benefits (§3.1).
+  // Reweights would reorder thresholds — those run the simulator.
+  if (scenario.reweighted.empty() && FastPathReady()) {
+    std::unordered_set<QueryId> removed;
+    removed.reserve(scenario.blocked.size() + scenario.aborted.size());
+    removed.insert(scenario.blocked.begin(), scenario.blocked.end());
+    removed.insert(scenario.aborted.begin(), scenario.aborted.end());
+    if (removed.count(target) == 0) {
+      const double rate = estimated_rate();
+      auto eta = engine_.RemainingTime(target, rate);
+      if (eta.ok()) {
+        SimTime remaining = *eta;
+        bool composed = true;
+        for (QueryId victim : removed) {
+          if (!engine_.Contains(victim)) continue;  // like ForecastWhatIf
+          auto benefit = engine_.RemovalBenefit(target, victim, rate);
+          if (!benefit.ok()) {
+            composed = false;
+            break;
+          }
+          remaining -= *benefit;
+        }
+        if (composed) {
+          ++incremental_fast_path_;
+          return SanitizeEta(std::max(0.0, remaining));
+        }
+      }
+      // Target or a victim eluded the mirror — simulate instead.
+    } else {
+      return Status::NotFound("query " + std::to_string(target) +
+                              " not in forecast");
+    }
+  }
+  if (options_.enable_incremental) ++incremental_fallback_;
+  auto forecast = ForecastWhatIf(scenario);
+  if (!forecast.ok()) return forecast.status();
+  auto eta = forecast->FinishTimeOf(target);
   if (!eta.ok()) return eta.status();
   return SanitizeEta(*eta);
 }

@@ -35,6 +35,7 @@
 #include "common/units.h"
 #include "pi/analytic_simulator.h"
 #include "pi/future_model.h"
+#include "pi/incremental_forecast.h"
 #include "sched/rdbms.h"
 
 namespace mqpi::obs {
@@ -62,6 +63,13 @@ struct MultiQueryPiOptions {
   /// only to cross-check cache coherence in tests and benches; the
   /// cached and uncached estimates are identical by construction.
   bool enable_forecast_cache = true;
+  /// Serve steady-state estimates from the incremental virtual-time
+  /// engine (O(log n) per estimate, no event replay) whenever the
+  /// fast-path preconditions hold — see EstimateRemainingTime. The
+  /// fallback is the analytic simulator above; both paths agree within
+  /// float rounding (chaos-verified). Disable only to pin the
+  /// simulator path in tests and benches.
+  bool enable_incremental = true;
   /// Analytic-model safety limits (rate and virtual stream are filled
   /// in per forecast).
   SimTime horizon = 1e7;
@@ -81,6 +89,15 @@ class MultiQueryPi {
   MultiQueryPi(const sched::Rdbms* db, MultiQueryPiOptions options = {},
                FutureWorkloadModel* future = nullptr);
 
+  /// Subscribes the PI to `db`'s lifecycle event stream (must be the
+  /// same Rdbms the PI was constructed over) so the incremental engine
+  /// absorbs arrivals/finishes/aborts/reweights as O(log n) deltas
+  /// instead of resynchronizing each quantum. Optional: without it the
+  /// engine still resyncs from ObserveStep whenever the structural
+  /// epoch moves. The PI must outlive any stepping of `db` once
+  /// attached (same contract as PiManager's auto-track listener).
+  void AttachLifecycleEvents(sched::Rdbms* db);
+
   /// Samples the system after each scheduler step: measures the
   /// aggregate processing rate and feeds observed arrivals to the
   /// future-workload model. Idle quanta reset the partially filled
@@ -97,9 +114,19 @@ class MultiQueryPi {
 
   /// Same, for a caller that already holds the query's info — the
   /// batched path used by PiManager's report and sampling loops (no
-  /// per-call Rdbms::info lookup; with the forecast cache warm each
-  /// call is an O(1) index probe).
+  /// per-call Rdbms::info lookup). When the incremental fast path is
+  /// available — engine synchronized with the Rdbms epochs, admission
+  /// queue empty (or ignored), no virtual arrival due before the
+  /// system quiesces, everything inside the horizon — a running
+  /// query's estimate is an O(log n) closed-form point query with no
+  /// simulation at all; otherwise it falls back to the (cached)
+  /// analytic simulator. The split is observable via
+  /// incremental_fast_path() / incremental_fallback().
   Result<SimTime> EstimateRemainingTime(const sched::QueryInfo& info) const;
+
+  /// Estimated time until the system quiesces (last tracked query
+  /// finishes; Section 3.3). O(1) on the fast path.
+  Result<SimTime> QuiescentEta() const;
 
   /// Full forecast for all running + queued queries.
   Result<ForecastResult> ForecastAll() const;
@@ -124,6 +151,18 @@ class MultiQueryPi {
   };
   Result<ForecastResult> ForecastWhatIf(const WhatIf& scenario) const;
 
+  /// Point what-if: `target`'s remaining time under `scenario`,
+  /// without materializing a full forecast. On the fast path a
+  /// pure-removal scenario is answered from the engine's exactly
+  /// additive O(log n) removal-benefit queries — a WLM fan-out over n
+  /// candidate victims costs O(n log n) instead of n full simulations
+  /// (O(n^2 log n)). Scenarios that reweight queries (or any
+  /// fallback) run one simulator what-if. Ids absent from the
+  /// modelled load are ignored, like ForecastWhatIf; NotFound if
+  /// `target` itself is removed or absent.
+  Result<SimTime> EstimateWhatIf(const WhatIf& scenario,
+                                 QueryId target) const;
+
   /// The measured aggregate rate C (falls back to the configured rate
   /// until a measurement exists).
   double estimated_rate() const;
@@ -137,6 +176,21 @@ class MultiQueryPi {
   std::uint64_t forecast_cache_hits() const { return cache_hits_; }
   std::uint64_t forecast_cache_misses() const { return cache_misses_; }
   std::uint64_t whatif_forecasts() const { return whatif_forecasts_; }
+
+  /// Incremental-engine statistics: estimates served by the O(log n)
+  /// closed form,
+  std::uint64_t incremental_fast_path() const {
+    return incremental_fast_path_;
+  }
+  /// engine-eligible estimates that had to fall back to the analytic
+  /// simulator (preconditions not met or engine out of sync),
+  std::uint64_t incremental_fallback() const {
+    return incremental_fallback_;
+  }
+  /// and full O(n log n) engine rebuilds (structural resyncs).
+  std::uint64_t incremental_resyncs() const {
+    return incremental_resyncs_;
+  }
 
   /// Attaches a chaos harness (nullptr detaches; not owned). Armed
   /// `pi.*` points fire inside ObserveStep: forced cache invalidation
@@ -182,6 +236,19 @@ class MultiQueryPi {
   };
 
   CacheKey CurrentKey() const;
+  /// Lifecycle-event hook: absorbs one Rdbms event into the engine as
+  /// an O(log n) delta when epoch continuity proves the engine was
+  /// current up to this event; otherwise marks it for resync.
+  void OnQueryEvent(const sched::QueryEvent& event);
+  /// ObserveStep's engine maintenance: rebuilds on structural drift,
+  /// else applies the quantum's progress as one O(1) virtual-time bump
+  /// plus targeted drift repair against the authoritative infos.
+  void SyncEngine(const std::vector<sched::QueryInfo>& running);
+  /// Full O(n log n) rebuild from the running set.
+  void RebuildEngine(const std::vector<sched::QueryInfo>& running);
+  /// Whether a running query's estimate may be served from the engine
+  /// right now (see EstimateRemainingTime).
+  bool FastPathReady() const;
   /// Estimate guardrail: NaN or negative model output degrades to
   /// kUnknown (counted); finite non-negative values and the legitimate
   /// kInfiniteTime sentinel pass through.
@@ -222,6 +289,20 @@ class MultiQueryPi {
   mutable std::uint64_t rate_floor_hits_ = 0;
   mutable std::uint64_t degraded_estimates_ = 0;
   std::uint64_t corrupt_rate_samples_ = 0;
+
+  // Incremental engine state. The engine mirrors the *running* set
+  // (queued queries gate the fast path instead of being modelled);
+  // engine_*_epoch_ record the Rdbms epochs the mirror reflects, and
+  // engine_synced_ goes false whenever continuity is lost (repaired by
+  // the next ObserveStep's rebuild). Mutable: estimates are logically
+  // const reads; same external-synchronization contract as the cache.
+  mutable IncrementalForecast engine_;
+  bool engine_synced_ = false;
+  std::uint64_t engine_structural_epoch_ = 0;
+  std::uint64_t engine_load_epoch_ = 0;
+  mutable std::uint64_t incremental_fast_path_ = 0;
+  mutable std::uint64_t incremental_fallback_ = 0;
+  mutable std::uint64_t incremental_resyncs_ = 0;
 };
 
 }  // namespace mqpi::pi

@@ -187,6 +187,19 @@ class Rdbms {
   /// accessor.
   std::uint64_t load_epoch() const { return load_epoch_; }
 
+  /// Monotonic *structural* epoch: bumped only by transitions that
+  /// change the shape of the modelled load — lifecycle events (submit,
+  /// admit, block/resume, finish, abort, priority change),
+  /// fast-forwards (an off-stream cost change), and admission-gate
+  /// flips — but NOT by plain execution quanta. Together with
+  /// load_epoch() this splits "the world moved" into "progress only"
+  /// (load epoch moved, structural didn't: costs shrank proportionally
+  /// and the clock advanced) versus "structure changed" (who
+  /// runs/queues, with what weight or re-anchored cost). Incremental
+  /// estimators absorb the former as an O(1) virtual-time bump and
+  /// resynchronize only on the latter.
+  std::uint64_t structural_epoch() const { return structural_epoch_; }
+
   // ---- inspection -----------------------------------------------------------
 
   Result<QueryInfo> info(QueryId id) const;
@@ -261,6 +274,7 @@ class Rdbms {
 
   QueryId next_id_ = 1;
   std::uint64_t load_epoch_ = 0;
+  std::uint64_t structural_epoch_ = 0;
   std::unordered_map<QueryId, std::unique_ptr<Record>> queries_;
   std::vector<QueryId> running_;           // running + blocked hold slots
   std::deque<QueryId> admission_queue_;

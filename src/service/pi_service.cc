@@ -106,6 +106,9 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   snapshot_reads_ = metrics_.counter("service.snapshot_reads");
   forecast_cache_hit_ = metrics_.counter("pi.forecast_cache_hit");
   forecast_cache_miss_ = metrics_.counter("pi.forecast_cache_miss");
+  incremental_fast_path_ = metrics_.counter("pi.incremental_fast_path");
+  incremental_fallback_ = metrics_.counter("pi.incremental_fallback");
+  incremental_resyncs_ = metrics_.counter("pi.incremental_resyncs");
   stale_snapshots_ = metrics_.counter("service.stale_snapshots");
   watchdog_restarts_ = metrics_.counter("service.watchdog_restarts");
   submits_shed_ = metrics_.counter("service.submits_shed");
@@ -466,13 +469,13 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
     }
   }
 
-  // One forecast per snapshot; per-query r_i estimates are extracted
-  // from it instead of re-running the analytic model n times. In the
-  // steady state this is the same forecast the PI already computed
-  // (and cached) while sampling this quantum — shared, not copied.
-  auto forecast = pis_->multi()->ForecastShared();
+  // Per-row estimates ride the PI's incremental fast path when it is
+  // up (an O(log n) closed-form point query per row, zero simulations
+  // in the steady state); the PI falls back to its cached analytic
+  // forecast otherwise, so a snapshot still costs at most one
+  // simulation per epoch either way.
   snapshot->quiescent_eta =
-      forecast.ok() ? (*forecast)->quiescent_time() : kUnknown;
+      pis_->multi()->QuiescentEta().value_or(kUnknown);
 
   // Publication guardrail: an ETA reaches readers as a finite,
   // non-negative, within-horizon number or as one of the two honest
@@ -543,9 +546,8 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
                   &good.single);
         query.eta_multi =
             guard(&query,
-                  forecast.ok()
-                      ? (*forecast)->FinishTimeOf(info.id).value_or(kUnknown)
-                      : kUnknown,
+                  pis_->multi()->EstimateRemainingTime(info).value_or(
+                      kUnknown),
                   &good.multi);
         break;
       }
@@ -600,6 +602,18 @@ void PiService::RecordForecastCacheMetricsLocked() {
   forecast_cache_miss_->Increment(misses - seen_cache_misses_);
   seen_cache_hits_ = hits;
   seen_cache_misses_ = misses;
+
+  const auto sync = [](Counter* counter, std::uint64_t total,
+                       std::uint64_t* seen) {
+    if (total > *seen) counter->Increment(total - *seen);
+    *seen = total;
+  };
+  sync(incremental_fast_path_, pis_->multi()->incremental_fast_path(),
+       &seen_incremental_fast_path_);
+  sync(incremental_fallback_, pis_->multi()->incremental_fallback(),
+       &seen_incremental_fallback_);
+  sync(incremental_resyncs_, pis_->multi()->incremental_resyncs(),
+       &seen_incremental_resyncs_);
 }
 
 void PiService::RecordDegradationMetricsLocked() {

@@ -6,8 +6,24 @@
 // target at position i, blocking a later-finishing victim Q_m (m > i)
 // saves T_m = w_m * sum_{j<=i} t_j / W_j, while blocking an
 // earlier-finishing victim (m < i) saves T_m = c_m / C. The optimal
-// victim maximizes T_m over both sets; benefits are additive, so the
-// greedy choice for h > 1 is the h largest benefits. O(n log n).
+// victim maximizes T_m over both sets; the greedy choice for h > 1 is
+// the h largest benefits, and their sum is the exact combined
+// benefit. O(n log n).
+//
+// On additivity: within the Section 2.2 model the per-victim benefits
+// compose *exactly*, not approximately. Removing a victim never
+// changes any survivor's finish threshold v_j = c_j / w_j, and the
+// target's remaining time
+//     r_i = (1/C) * [sum_{v_j <= v_i} c_j + v_i * sum_{v_j > v_i} w_j]
+// is linear in the removed set, so blocking {Q_a, Q_b} saves exactly
+// T_a + T_b (the telescoped K = sum_{j<=i} t_j / W_j equals v_i / C
+// regardless of which other victims are gone; ExactBenefit-based
+// cross-check in the tests). What IS an approximation is the model
+// itself: `time_saved` assumes blocked victims stay blocked for the
+// target's whole remaining run. A workload manager that later resumes
+// a victim returns its weight to the pool early and recovers less
+// than the predicted saving — the prediction is an upper bound under
+// resumption, not an additivity artifact.
 //
 // When all priorities are equal the solution degenerates (paper §3.1):
 // any query finishing after the target is optimal; if the target
@@ -23,6 +39,7 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "pi/incremental_forecast.h"
 #include "pi/stage_profile.h"
 
 namespace mqpi::wlm {
@@ -53,6 +70,15 @@ class SingleQuerySpeedup {
       const std::vector<pi::QueryLoad>& running, QueryId target, int h,
       double rate);
 
+  /// Same selection served from a live incremental engine: each
+  /// candidate's benefit is an O(1) point query (no stage profile is
+  /// built at all), so a fan-out over n candidates costs O(n log n)
+  /// where the ExactBenefit loop costs O(n^2 log n). Identical
+  /// victims and time_saved as the vector overload (cross-checked).
+  static Result<SpeedupChoice> ChooseVictims(
+      const pi::IncrementalForecast& engine, QueryId target, int h,
+      double rate);
+
   /// The equal-priority O(n) special case: returns one victim without
   /// sorting. All weights must be equal (checked).
   static Result<QueryId> ChooseVictimEqualPriority(
@@ -63,6 +89,13 @@ class SingleQuerySpeedup {
   static Result<SimTime> ExactBenefit(
       const std::vector<pi::QueryLoad>& running, QueryId target,
       QueryId victim, double rate);
+
+  /// Engine-backed ExactBenefit: the same value as the two-profile
+  /// computation (additivity is exact in-model, see the header note)
+  /// in O(log n) instead of O(n log n).
+  static Result<SimTime> ExactBenefit(const pi::IncrementalForecast& engine,
+                                      QueryId target, QueryId victim,
+                                      double rate);
 
   /// Predicts the effect of changing the target's weight (raising its
   /// priority) while everything else keeps running — the option the

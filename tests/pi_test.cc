@@ -442,8 +442,11 @@ TEST(MultiQueryPiTest, CacheCoherentAcrossTransitions) {
   options.max_concurrent = 3;
   options.weights = PriorityWeights(1.0, 2.0, 4.0, 8.0);
   sched::Rdbms db(&catalog, options);
-  MultiQueryPi cached(&db, {});
-  MultiQueryPi fresh(&db, {.enable_forecast_cache = false});
+  // Incremental estimates pinned off: this test is about the forecast
+  // cache, so every probe must reach the simulator path.
+  MultiQueryPi cached(&db, {.enable_incremental = false});
+  MultiQueryPi fresh(
+      &db, {.enable_forecast_cache = false, .enable_incremental = false});
 
   std::vector<QueryId> ids;
   for (int i = 0; i < 5; ++i) {
@@ -499,13 +502,17 @@ TEST(MultiQueryPiTest, CacheCoherentAcrossTransitions) {
 }
 
 TEST(PiManagerTest, OneForecastPerQuantumWhenSampling) {
-  // 20 tracked queries sampled every quantum: the batched estimate
-  // path must run one analytic simulation per quantum, not one per
-  // query (the old per-call path was O(n^2 log n) per quantum).
+  // 20 tracked queries sampled every quantum, incremental engine
+  // pinned off: the batched estimate path must run one analytic
+  // simulation per quantum, not one per query (the old per-call path
+  // was O(n^2 log n) per quantum).
   storage::Catalog catalog;
   auto options = CleanOptions();
   sched::Rdbms db(&catalog, options);
-  PiManager pis(&db, {.sample_interval = options.quantum});
+  PiManagerOptions pm_options;
+  pm_options.sample_interval = options.quantum;
+  pm_options.multi.enable_incremental = false;
+  PiManager pis(&db, pm_options);
   sim::SimulationRunner runner(&db, &pis);
   for (int i = 0; i < 20; ++i) {
     auto id = runner.SubmitNow(QuerySpec::Synthetic(1000.0));
@@ -521,6 +528,35 @@ TEST(PiManagerTest, OneForecastPerQuantumWhenSampling) {
   const std::uint64_t misses_before = multi->forecast_cache_misses();
   const auto rows = pis.Report();
   EXPECT_EQ(rows.size(), 20u);
+  EXPECT_EQ(multi->forecast_cache_misses(), misses_before);
+}
+
+TEST(PiManagerTest, SteadyStateSamplingNeedsNoSimulationAtAll) {
+  // Same workload with the incremental engine on (the default): after
+  // the first quantum's rebuild, every running-query estimate is an
+  // O(log n) point query — zero simulations, zero cache traffic in
+  // steady state.
+  storage::Catalog catalog;
+  auto options = CleanOptions();
+  sched::Rdbms db(&catalog, options);
+  PiManager pis(&db, {.sample_interval = options.quantum});
+  sim::SimulationRunner runner(&db, &pis);
+  for (int i = 0; i < 20; ++i) {
+    auto id = runner.SubmitNow(QuerySpec::Synthetic(1000.0));
+    ASSERT_TRUE(id.ok());
+    pis.Track(*id);
+  }
+  runner.StepFor(0.5);  // 10 quanta, each samples all 20 queries
+  const MultiQueryPi* multi = pis.multi();
+  EXPECT_GE(multi->incremental_fast_path(), 20u * 9u);
+  // Early probes (before the first ObserveStep syncs the engine) may
+  // fall back, but steady state must not.
+  EXPECT_LE(multi->incremental_fallback(), 20u * 1u);
+  const std::uint64_t fallback_before = multi->incremental_fallback();
+  const std::uint64_t misses_before = multi->forecast_cache_misses();
+  const auto rows = pis.Report();
+  EXPECT_EQ(rows.size(), 20u);
+  EXPECT_EQ(multi->incremental_fallback(), fallback_before);
   EXPECT_EQ(multi->forecast_cache_misses(), misses_before);
 }
 

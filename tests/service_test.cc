@@ -257,10 +257,11 @@ TEST(ServiceManualTest, SessionLifecycleAndSnapshotProgress) {
 }
 
 TEST(ServiceManualTest, ForecastCacheCountersPublished) {
-  // The service republishes the PI's forecast-cache statistics as
-  // metrics. Steady state: each quantum builds one snapshot over many
-  // queries, so misses stay bounded by the quantum count while hits
-  // accumulate from the batched per-query probes.
+  // The service republishes the PI's forecast-cache and incremental
+  // engine statistics as metrics. Steady state with the incremental
+  // engine on: snapshots answer running-query rows from O(log n)
+  // point queries, so fast-path hits accumulate while full
+  // simulations stay bounded by the warm-up quanta.
   storage::Catalog catalog;
   PiService service(&catalog, ManualOptions());
   auto session = service.OpenSession("cache-watch");
@@ -269,16 +270,23 @@ TEST(ServiceManualTest, ForecastCacheCountersPublished) {
   }
   ASSERT_TRUE(service.Advance(2.0).ok());  // 20 quanta at 0.1 s
 
-  const auto hits =
-      service.metrics()->counter("pi.forecast_cache_hit")->value();
+  const auto fast =
+      service.metrics()->counter("pi.incremental_fast_path")->value();
+  const auto fallback =
+      service.metrics()->counter("pi.incremental_fallback")->value();
   const auto misses =
       service.metrics()->counter("pi.forecast_cache_miss")->value();
-  EXPECT_GT(hits, 0u);
+  EXPECT_GT(fast, 0u);
+  // Fallbacks only before the first engine sync; never in steady state.
+  EXPECT_LE(fallback, 20u);
   // <= one full simulation per quantum, with slack for submissions.
   EXPECT_LE(misses, 30u);
   const std::string dump = service.metrics()->TextDump();
   EXPECT_NE(dump.find("pi.forecast_cache_hit"), std::string::npos);
   EXPECT_NE(dump.find("pi.forecast_cache_miss"), std::string::npos);
+  EXPECT_NE(dump.find("pi.incremental_fast_path"), std::string::npos);
+  EXPECT_NE(dump.find("pi.incremental_fallback"), std::string::npos);
+  EXPECT_NE(dump.find("pi.incremental_resyncs"), std::string::npos);
   EXPECT_TRUE(session->Close().ok());
 }
 

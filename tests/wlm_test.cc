@@ -221,6 +221,84 @@ TEST_P(SpeedupPropertyTest, MultiSpeedupVictimIsOptimal) {
   EXPECT_NEAR(*chosen, best, 1e-6 * (1.0 + best));
 }
 
+TEST_P(SpeedupPropertyTest, CombinedBenefitIsExactlyAdditive) {
+  // §3.1 additivity (speedup.h header note): the greedy h-victim
+  // time_saved must equal both the sum of per-victim ExactBenefits
+  // against the *original* load and the first-principles difference
+  // r_before - r_after with every victim removed at once. In-model
+  // this holds exactly, not approximately.
+  auto [seed, uniform] = GetParam();
+  Rng rng(12000 + static_cast<std::uint64_t>(seed));
+  const int n = static_cast<int>(rng.UniformInt(4, 12));
+  auto loads = RandomLoads(&rng, n, uniform);
+  const double rate = 100.0;
+  const QueryId target =
+      loads[static_cast<std::size_t>(rng.UniformInt(0, n - 1))].id;
+  const int h = static_cast<int>(rng.UniformInt(2, n - 1));
+
+  auto choice = SingleQuerySpeedup::ChooseVictims(loads, target, h, rate);
+  ASSERT_TRUE(choice.ok());
+  ASSERT_EQ(choice->victims.size(), static_cast<std::size_t>(h));
+
+  double summed = 0.0;
+  std::vector<QueryLoad> survivors;
+  for (const QueryLoad& q : loads) {
+    if (std::find(choice->victims.begin(), choice->victims.end(), q.id) ==
+        choice->victims.end()) {
+      survivors.push_back(q);
+    }
+  }
+  for (QueryId victim : choice->victims) {
+    auto benefit = SingleQuerySpeedup::ExactBenefit(loads, target, victim,
+                                                    rate);
+    ASSERT_TRUE(benefit.ok());
+    summed += *benefit;
+  }
+  auto before = pi::StageProfile::Compute(loads, rate);
+  auto after = pi::StageProfile::Compute(survivors, rate);
+  ASSERT_TRUE(before.ok() && after.ok());
+  const double all_at_once =
+      *before->RemainingTimeOf(target) - *after->RemainingTimeOf(target);
+  EXPECT_NEAR(choice->time_saved, summed, 1e-7 * (1.0 + summed));
+  EXPECT_NEAR(choice->time_saved, all_at_once, 1e-7 * (1.0 + all_at_once));
+}
+
+TEST_P(SpeedupPropertyTest, EngineOverloadMatchesVectorOverload) {
+  // The O(n log n) engine-backed fan-out must pick the same victims
+  // with the same combined benefit as the stage-profile overload.
+  auto [seed, uniform] = GetParam();
+  Rng rng(13000 + static_cast<std::uint64_t>(seed));
+  const int n = static_cast<int>(rng.UniformInt(3, 12));
+  auto loads = RandomLoads(&rng, n, uniform);
+  const double rate = 100.0;
+  const QueryId target =
+      loads[static_cast<std::size_t>(rng.UniformInt(0, n - 1))].id;
+  const int h = static_cast<int>(rng.UniformInt(1, n - 1));
+
+  pi::IncrementalForecast engine;
+  for (const QueryLoad& q : loads) {
+    ASSERT_TRUE(engine.Insert(q.id, q.remaining_cost, q.weight).ok());
+  }
+  auto from_engine =
+      SingleQuerySpeedup::ChooseVictims(engine, target, h, rate);
+  auto from_loads = SingleQuerySpeedup::ChooseVictims(loads, target, h, rate);
+  ASSERT_TRUE(from_engine.ok());
+  ASSERT_TRUE(from_loads.ok());
+  EXPECT_EQ(from_engine->victims, from_loads->victims);
+  EXPECT_NEAR(from_engine->time_saved, from_loads->time_saved,
+              1e-7 * (1.0 + from_loads->time_saved));
+  // Per-victim point queries agree with the two-profile computation.
+  for (QueryId victim : from_engine->victims) {
+    auto fast = SingleQuerySpeedup::ExactBenefit(engine, target, victim,
+                                                 rate);
+    auto slow = SingleQuerySpeedup::ExactBenefit(loads, target, victim,
+                                                 rate);
+    ASSERT_TRUE(fast.ok() && slow.ok());
+    EXPECT_NEAR(*fast, *slow, 1e-7 * (1.0 + std::fabs(*slow)))
+        << "victim " << victim;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     RandomInstances, SpeedupPropertyTest,
     ::testing::Combine(::testing::Range(0, 8), ::testing::Bool()));

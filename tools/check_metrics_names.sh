@@ -48,6 +48,23 @@ for name in $dups; do
   fail=1
 done
 
+# Counters the service contract promises to publish (dashboards and
+# the estimate auditor key on them): renaming or dropping one must
+# fail the lint, not silently vanish from the exposition.
+required_counters="
+pi.forecast_cache_hit
+pi.forecast_cache_miss
+pi.incremental_fast_path
+pi.incremental_fallback
+pi.incremental_resyncs
+"
+for name in $required_counters; do
+  if ! grep -q "^counter $name\$" "$names_file"; then
+    echo "required counter '$name' is no longer registered anywhere" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "check_metrics_names: $(wc -l < "$names_file") metric names OK"
 fi
