@@ -2,7 +2,8 @@
 // PI stack.
 //
 // The injector owns a catalog of *named fault points* — places in
-// sched::Rdbms, pi::MultiQueryPi, and service::PiService that ask
+// sched::Rdbms, pi::MultiQueryPi, service::PiService, and the network
+// layer (net::PiServer + the snapshot fan-out) that ask
 // "should this fault fire now?" once per opportunity (per quantum, per
 // control call, per tick). A point fires either
 //   - probability-driven: with probability p per evaluation, drawn from
@@ -76,6 +77,19 @@ inline constexpr const char* kServicePublishDelay = "service.publish_delay";
 /// SetPriority) with an Internal error.
 inline constexpr const char* kServiceSessionControlFail =
     "service.session_control_fail";
+/// PiServer: a freshly accepted connection is torn down immediately
+/// (as if the accept syscall failed / the handshake died).
+inline constexpr const char* kNetAcceptFail = "net.accept_fail";
+/// PiServer: the next socket write moves at most `value` bytes
+/// (default 1) — exercises the partial-write resume path.
+inline constexpr const char* kNetPartialWrite = "net.partial_write";
+/// Fan-out: one subscriber's consumer goes deaf (stops draining /
+/// stops being writable), driving the bounded write queue into the
+/// shedding path.
+inline constexpr const char* kNetSlowConsumer = "net.slow_consumer";
+/// Fan-out / server: one live connection or subscription is dropped
+/// outright.
+inline constexpr const char* kNetConnDrop = "net.conn_drop";
 /// MultiQueryPi: drop the memoized forecast and base-load snapshot
 /// (correctness no-op by construction; costs a recomputation).
 inline constexpr const char* kPiCacheInvalidate = "pi.cache_invalidate";

@@ -1,0 +1,456 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "engine/sql_parser.h"
+#include "fault/fault_injector.h"
+#include "obs/tracer.h"
+
+namespace mqpi::net {
+namespace {
+
+constexpr int kEpollBatch = 64;
+
+}  // namespace
+
+void PiServer::LoopWaker::Signal() {
+  if (event_fd < 0) return;
+  const std::uint64_t one = 1;
+  // A full eventfd counter still wakes the loop; ignore EAGAIN.
+  [[maybe_unused]] ssize_t n = ::write(event_fd, &one, sizeof(one));
+}
+
+PiServer::PiServer(service::PiService* service, PiServerOptions options)
+    : service_(service),
+      options_(std::move(options)),
+      fault_(options_.fault),
+      tracer_(service->tracer()),
+      metrics_(std::make_unique<NetMetrics>(service->metrics())) {
+  SubscriberPool::Options pool_options;
+  pool_options.threads = options_.pool_threads;
+  pool_options.subscription = options_.subscription;
+  pool_options.fault = fault_;
+  pool_ = std::make_unique<SubscriberPool>(&fanout_, metrics_.get(),
+                                           pool_options);
+}
+
+PiServer::~PiServer() { Stop(); }
+
+Status PiServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already started");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) return Status::Internal("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad listen address: " + options_.host);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, options_.listen_backlog) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::Internal(std::string("bind/listen failed: ") +
+                            std::strerror(errno));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  bound_port_ = ntohs(addr.sin_port);
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (epoll_fd_ < 0 || wake_fd_ < 0) {
+    Stop();
+    return Status::Internal("epoll/eventfd setup failed");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+
+  stop_.store(false, std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+
+  // Publish path: ticker -> fanout (pointer swap) -> one eventfd write
+  // for the TCP loop + one cv notify per pool. O(1) in subscribers.
+  waker_.event_fd = wake_fd_;
+  fanout_.RegisterWaker(&waker_);
+  pool_->Start();
+  service_->SetPublishHook(
+      [this](const service::SnapshotPtr& snapshot) {
+        fanout_.Publish(snapshot);
+      });
+  // Seed the fanout so subscribers joining before the next tick see
+  // the current state immediately.
+  fanout_.Publish(service_->snapshot());
+
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+void PiServer::Stop() {
+  if (running_.exchange(false, std::memory_order_acq_rel)) {
+    // Detach from the service first: after this returns no new
+    // publishes enter the fanout, so tearing down wakers is safe.
+    service_->SetPublishHook(nullptr);
+    stop_.store(true, std::memory_order_release);
+    waker_.Signal();
+    if (loop_.joinable()) loop_.join();
+    pool_->Stop();
+    fanout_.UnregisterWaker(&waker_);
+    waker_.event_fd = -1;
+  }
+  // Loop thread is gone; its state is ours to reap.
+  for (auto& [id, conn] : conns_) {
+    if (conn->session) conn->session->Close();
+    metrics_->AddConnections(-1);
+    if (conn->subscribed) metrics_->AddSubscriptions(-1);
+  }
+  conns_.clear();
+  conn_by_fd_.clear();
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  wake_fd_ = epoll_fd_ = listen_fd_ = -1;
+}
+
+// ---- event loop -------------------------------------------------------------
+
+void PiServer::LoopThread() {
+  std::vector<epoll_event> events(kEpollBatch);
+  while (!stop_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(epoll_fd_, events.data(),
+                               static_cast<int>(events.size()), 100);
+    if (stop_.load(std::memory_order_acquire)) break;
+    bool snapshot_wake = false;
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        AcceptPending();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        std::uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        snapshot_wake = true;
+        continue;
+      }
+      auto it = conn_by_fd_.find(fd);
+      if (it == conn_by_fd_.end()) continue;
+      const std::uint64_t conn_id = it->second;
+      Connection* conn = conns_.at(conn_id).get();
+      bool alive = true;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        alive = false;
+      } else {
+        if ((events[i].events & EPOLLIN) != 0) {
+          alive = ServiceConnection(conn);
+        }
+        if (alive && (events[i].events & EPOLLOUT) != 0) {
+          FlushConnection(conn);
+          alive = conn->fd() >= 0;
+        }
+      }
+      if (!alive) {
+        CloseConnection(conn_id, /*count_dropped=*/false);
+      } else if (conn->closing() && !conn->wants_write()) {
+        CloseConnection(conn_id, /*count_dropped=*/false);
+      } else {
+        UpdateEpollInterest(conn);
+      }
+    }
+    // Coalesced push: however many publishes landed, encode once
+    // against the latest snapshot.
+    if (snapshot_wake || fanout_.epoch() != pushed_epoch_) PushSnapshots();
+    if (fault_ != nullptr && fault_->enabled()) EvaluateConnFaults();
+  }
+}
+
+void PiServer::AcceptPending() {
+  for (;;) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      metrics_->accept_failures->Increment();
+      return;
+    }
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (fault_ != nullptr && fault_->enabled() &&
+        fault_->ShouldFire(fault::kNetAcceptFail)) {
+      metrics_->accept_failures->Increment();
+      ::close(fd);
+      continue;
+    }
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      metrics_->accept_failures->Increment();
+      ::close(fd);
+      continue;
+    }
+    metrics_->accepts->Increment();
+
+    Connection::Options conn_options;
+    conn_options.max_frame_bytes = options_.max_frame_bytes;
+    conn_options.write_queue_max_frames = options_.write_queue_max_frames;
+    conn_options.write_queue_max_bytes = options_.write_queue_max_bytes;
+    const std::uint64_t id = next_conn_id_++;
+    auto conn = std::make_unique<Connection>(fd, id, conn_options);
+    conn->session =
+        service_->OpenSession("tcp-conn-" + std::to_string(id));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    conn_by_fd_[fd] = id;
+    conns_[id] = std::move(conn);
+    metrics_->AddConnections(1);
+  }
+}
+
+bool PiServer::ServiceConnection(Connection* conn) {
+  std::vector<Frame> frames;
+  const bool keep = conn->ReadFrames(&frames);
+  for (Frame& frame : frames) {
+    metrics_->requests->Increment();
+    metrics_->frames_received->Increment();
+    metrics_->bytes_received->Increment(kFrameHeaderBytes +
+                                        frame.header.payload_len);
+
+    // Transport-level verbs first: they touch connection push state.
+    if (frame.header.type == FrameType::kSubscribe) {
+      if (!conn->subscribed) {
+        conn->subscribed = true;
+        conn->delta.Reset();
+        conn->pushed_sequence = 0;
+        metrics_->AddSubscriptions(1);
+      }
+      SubscribeReply reply;
+      const service::SnapshotPtr latest = fanout_.Latest();
+      reply.sequence = latest ? latest->sequence : 0;
+      QueueOnConn(conn,
+                  EncodeFrame(frame.header.request_id, FrameBody{reply}));
+      // Immediate full frame so the subscriber has a base to patch.
+      if (latest != nullptr) {
+        std::string push = conn->delta.Encode(latest);
+        metrics_->full_frames->Increment();
+        conn->pushed_sequence = latest->sequence;
+        QueueOnConn(conn, std::move(push));
+      }
+      continue;
+    }
+    if (frame.header.type == FrameType::kUnsubscribe) {
+      if (conn->subscribed) {
+        conn->subscribed = false;
+        metrics_->AddSubscriptions(-1);
+      }
+      QueueOnConn(conn, EncodeFrame(frame.header.request_id,
+                                    FrameBody{UnsubscribeReply{}}));
+      continue;
+    }
+
+    FrameBody reply = Dispatch(conn->session.get(), frame);
+    if (std::holds_alternative<ErrorReply>(reply)) {
+      metrics_->request_errors->Increment();
+    }
+    QueueOnConn(conn, EncodeFrame(frame.header.request_id, reply));
+  }
+  FlushConnection(conn);
+  return keep && !(conn->closing() && !conn->wants_write());
+}
+
+namespace {
+
+// Request dispatcher body: local classes cannot hold member templates,
+// so the visitor lives at namespace scope.
+struct DispatchVisitor {
+  PiServer* server;
+  service::Session* session;
+
+    FrameBody operator()(const SubmitRequest& req) {
+      engine::QuerySpec spec;
+      if (req.is_sql) {
+        auto parsed = engine::ParseSql(req.sql);
+        if (!parsed.ok()) return ErrorReply::From(parsed.status());
+        spec = std::move(parsed).value();
+      } else {
+        spec = engine::QuerySpec::Synthetic(req.synthetic_cost);
+      }
+      auto id = session->Submit(spec, req.priority);
+      if (!id.ok()) return ErrorReply::From(id.status());
+      return SubmitReply{id.value()};
+    }
+    FrameBody operator()(const CancelRequest& req) {
+      Status status = session->Abort(req.id);
+      if (!status.ok()) return ErrorReply::From(status);
+      return CancelReply{};
+    }
+    FrameBody operator()(const ProgressRequest& req) {
+      auto row = session->Progress(req.id);
+      if (!row.ok()) return ErrorReply::From(row.status());
+      const service::SnapshotPtr snapshot = session->snapshot();
+      ProgressReply reply;
+      reply.sequence = snapshot ? snapshot->sequence : 0;
+      reply.sim_time = snapshot ? snapshot->sim_time : 0.0;
+      reply.row = std::move(row).value();
+      return reply;
+    }
+    FrameBody operator()(const WhatIfRequest& req) {
+      pi::MultiQueryPi::WhatIf scenario;
+      scenario.blocked = req.blocked;
+      scenario.aborted = req.aborted;
+      scenario.reweighted = req.reweighted;
+      auto eta = server->service()->EstimateWhatIf(scenario, req.target);
+      if (!eta.ok()) return ErrorReply::From(eta.status());
+      return WhatIfReply{eta.value()};
+    }
+    FrameBody operator()(const PingRequest& req) {
+      return PongReply{req.nonce};
+    }
+    FrameBody operator()(const SubscribeRequest&) {
+      return ErrorReply{StatusCode::kFailedPrecondition,
+                        "SUBSCRIBE is transport-level"};
+    }
+    FrameBody operator()(const UnsubscribeRequest&) {
+      return ErrorReply{StatusCode::kFailedPrecondition,
+                        "UNSUBSCRIBE is transport-level"};
+    }
+    // Reply/push types arriving as requests are client bugs.
+    template <typename T>
+    FrameBody operator()(const T&) {
+      return ErrorReply{StatusCode::kInvalidArgument,
+                        "frame type is not a request"};
+    }
+};
+
+}  // namespace
+
+FrameBody PiServer::Dispatch(service::Session* session, const Frame& request) {
+  obs::TraceSpan span(tracer_, "net", "dispatch");
+  return std::visit(DispatchVisitor{this, session}, request.body);
+}
+
+void PiServer::PushSnapshots() {
+  std::uint64_t epoch = 0;
+  const service::SnapshotPtr latest = fanout_.Latest(&epoch);
+  pushed_epoch_ = epoch;
+  if (latest == nullptr) return;
+  std::vector<std::uint64_t> done;
+  for (auto& [id, conn] : conns_) {
+    if (!conn->subscribed || conn->closing()) continue;
+    if (conn->pushed_sequence >= latest->sequence) continue;
+    bool is_full = false;
+    std::string frame = conn->delta.Encode(latest, &is_full);
+    conn->pushed_sequence = latest->sequence;
+    (is_full ? metrics_->full_frames : metrics_->delta_frames)->Increment();
+    if (!QueueOnConn(conn.get(), std::move(frame))) {
+      metrics_->slow_consumers_shed->Increment();
+    }
+    FlushConnection(conn.get());
+    if (conn->closing() && !conn->wants_write()) {
+      done.push_back(id);
+    } else {
+      UpdateEpollInterest(conn.get());
+    }
+  }
+  for (std::uint64_t id : done) {
+    CloseConnection(id, /*count_dropped=*/false);
+  }
+}
+
+bool PiServer::QueueOnConn(Connection* conn, std::string frame) {
+  metrics_->frames_sent->Increment();
+  metrics_->bytes_sent->Increment(frame.size());
+  return conn->QueueFrame(std::move(frame));
+}
+
+void PiServer::FlushConnection(Connection* conn) {
+  if (conn->stall_flushes > 0) {
+    --conn->stall_flushes;
+    return;
+  }
+  std::size_t cap = 0;
+  if (fault_ != nullptr && fault_->enabled()) {
+    const auto fire = fault_->Evaluate(fault::kNetPartialWrite);
+    if (fire.fired) {
+      cap = fire.value >= 1.0 ? static_cast<std::size_t>(fire.value) : 1;
+    }
+  }
+  if (!conn->FlushWrites(cap)) {
+    // Fatal write error; reap on the next loop pass via EPOLLERR or
+    // directly here by marking closing with an empty queue.
+    conn->set_closing();
+  }
+}
+
+void PiServer::UpdateEpollInterest(Connection* conn) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (conn->wants_write() ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd();
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd(), &ev);
+}
+
+void PiServer::CloseConnection(std::uint64_t conn_id, bool count_dropped) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  Connection* conn = it->second.get();
+  if (conn->was_shed()) {
+    // Best-effort goodbye for sheds torn down before draining.
+    conn->FlushWrites();
+  }
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd(), nullptr);
+  conn_by_fd_.erase(conn->fd());
+  if (conn->subscribed) metrics_->AddSubscriptions(-1);
+  if (conn->session) conn->session->Close();
+  metrics_->AddConnections(-1);
+  if (count_dropped) metrics_->conns_dropped->Increment();
+  conns_.erase(it);
+}
+
+void PiServer::EvaluateConnFaults() {
+  if (conns_.empty()) return;
+  const auto drop = fault_->Evaluate(fault::kNetConnDrop);
+  if (drop.fired) {
+    const std::uint64_t victim_index =
+        fault_->PickIndex(fault::kNetConnDrop, conns_.size());
+    auto it = conns_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(victim_index));
+    CloseConnection(it->first, /*count_dropped=*/true);
+  }
+  if (conns_.empty()) return;
+  const auto stall = fault_->Evaluate(fault::kNetSlowConsumer);
+  if (stall.fired) {
+    const std::uint64_t victim_index =
+        fault_->PickIndex(fault::kNetSlowConsumer, conns_.size());
+    auto it = conns_.begin();
+    std::advance(it, static_cast<std::ptrdiff_t>(victim_index));
+    // Freeze enough flushes that the write queue overflows and sheds.
+    it->second->stall_flushes =
+        static_cast<int>(options_.write_queue_max_frames) + 8;
+  }
+}
+
+}  // namespace mqpi::net

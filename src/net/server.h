@@ -1,0 +1,156 @@
+// PiServer: the network-facing front end over PiService — a TCP/epoll
+// event loop speaking the net/wire.h binary protocol, plus the
+// in-process loopback transport the massive-subscriber bench rides.
+//
+// Threading model:
+//   - ONE event-loop thread owns every accepted Connection (sockets,
+//     buffers, delta encoders). Requests are decoded, dispatched
+//     against the service, and answered on that thread; no per-
+//     connection locks exist.
+//   - Snapshot pushes: the service's publish hook lands in the
+//     SnapshotFanout (O(1) on the ticker thread — a pointer swap plus
+//     one eventfd write for the loop and one waker per subscriber
+//     pool). The loop thread wakes, reads Latest() once, and encodes
+//     a per-connection delta for each subscribed connection.
+//   - In-process subscribers (net::LocalClient / the bench) attach to
+//     the server's SubscriberPool and never touch the loop thread.
+//
+// Error discipline: semantic failures (unknown query, shed submit,
+// bad request) are answered with Status-coded ERROR frames and the
+// connection lives; stream-level corruption (bad version, oversized
+// length) gets one final ERROR frame and a close; slow consumers are
+// shed per the bounded write-queue policy in net/conn.h.
+//
+// Fault points (deterministic, see src/fault/fault_injector.h):
+// kNetAcceptFail tears down fresh accepts, kNetPartialWrite throttles
+// socket writes to `value` bytes, kNetSlowConsumer freezes a random
+// subscribed connection's flushes (driving the shed path), and
+// kNetConnDrop closes a random live connection outright.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "net/conn.h"
+#include "net/fanout.h"
+#include "net/wire.h"
+#include "service/pi_service.h"
+#include "service/session.h"
+
+namespace mqpi::net {
+
+struct PiServerOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; read the bound port back with port().
+  std::uint16_t port = 0;
+  int listen_backlog = 128;
+  /// Largest request payload a client may send.
+  std::size_t max_frame_bytes = std::size_t{1} << 20;
+  /// Per-connection bounded write queue (the shedding bound).
+  std::size_t write_queue_max_frames = 256;
+  std::size_t write_queue_max_bytes = std::size_t{4} << 20;
+  /// Accepts beyond this are refused (closed immediately). 0 = no cap.
+  std::size_t max_connections = 4096;
+  /// Worker threads for in-process (LocalClient) subscribers.
+  int pool_threads = 2;
+  /// Queue bounds for in-process subscriptions.
+  Subscription::Options subscription;
+  /// Optional chaos harness (not owned; must outlive the server).
+  fault::FaultInjector* fault = nullptr;
+};
+
+class PiServer {
+ public:
+  /// `service` must outlive the server. Metrics land in the service's
+  /// registry under `net.*`.
+  explicit PiServer(service::PiService* service, PiServerOptions options = {});
+  /// Stops (see Stop()) if still running.
+  ~PiServer();
+
+  PiServer(const PiServer&) = delete;
+  PiServer& operator=(const PiServer&) = delete;
+
+  /// Binds + listens, installs the service publish hook, spawns the
+  /// event loop and the subscriber pool. Internal on socket errors;
+  /// FailedPrecondition if already started.
+  Status Start();
+  /// Detaches the publish hook, closes every connection, joins the
+  /// loop and pool. Idempotent. Must be called (or the destructor
+  /// reached) before the PiService dies.
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// The bound TCP port (valid after Start()).
+  std::uint16_t port() const { return bound_port_; }
+
+  SnapshotFanout* fanout() { return &fanout_; }
+  SubscriberPool* pool() { return pool_.get(); }
+  NetMetrics* metrics() { return metrics_.get(); }
+  service::PiService* service() { return service_; }
+
+  /// The request dispatcher shared by the TCP loop and LocalClient:
+  /// executes `request` against `session` and returns the reply body
+  /// (a reply struct or ErrorReply). SUBSCRIBE/UNSUBSCRIBE are
+  /// transport-level and rejected here with FailedPrecondition —
+  /// each transport implements them against its own push machinery.
+  FrameBody Dispatch(service::Session* session, const Frame& request);
+
+  /// Total connections the loop ever accepted (tests).
+  std::uint64_t accepted() const {
+    return accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  class LoopWaker : public SnapshotFanout::Waker {
+   public:
+    void Signal() override;
+    int event_fd = -1;
+  };
+
+  void LoopThread();
+  void AcceptPending();
+  /// Read + dispatch + reply for one ready connection; false = close.
+  bool ServiceConnection(Connection* conn);
+  /// Encode and queue the latest snapshot for every subscribed conn.
+  void PushSnapshots();
+  void FlushConnection(Connection* conn);
+  /// QueueFrame + frames/bytes accounting; false when the queue shed.
+  bool QueueOnConn(Connection* conn, std::string frame);
+  void UpdateEpollInterest(Connection* conn);
+  void CloseConnection(std::uint64_t conn_id, bool count_dropped);
+  void EvaluateConnFaults();
+
+  service::PiService* const service_;
+  const PiServerOptions options_;
+  fault::FaultInjector* const fault_;
+  obs::Tracer* const tracer_;
+
+  std::unique_ptr<NetMetrics> metrics_;
+  SnapshotFanout fanout_;
+  std::unique_ptr<SubscriberPool> pool_;
+  LoopWaker waker_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: publish wakeups + stop
+  std::uint16_t bound_port_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_{false};
+  std::thread loop_;
+
+  // Loop-thread-only state.
+  std::unordered_map<std::uint64_t, std::unique_ptr<Connection>> conns_;
+  std::unordered_map<int, std::uint64_t> conn_by_fd_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t pushed_epoch_ = 0;
+  std::atomic<std::uint64_t> accepted_{0};
+};
+
+}  // namespace mqpi::net

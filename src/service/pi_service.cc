@@ -574,11 +574,13 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
 
 void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
   std::uint64_t sequence;
+  SnapshotPtr published;
   {
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     snapshot->sequence = ++published_;
     sequence = snapshot->sequence;
-    snapshot_ = std::move(snapshot);
+    published = std::move(snapshot);
+    snapshot_ = published;
   }
   publish_wall_ns_.store(WallClock::now().time_since_epoch().count(),
                          std::memory_order_release);
@@ -587,6 +589,27 @@ void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
     tracer_->Instant("service", "snapshot_published", kInvalidQueryId, "seq",
                      static_cast<double>(sequence));
   }
+  // Fan the snapshot out to the network layer. Runs outside state_mu_
+  // (every Publish call site already is) and outside snapshot_mu_, so
+  // the hook may take its own locks; it must stay O(1)-cheap — the
+  // ticker thread is the caller.
+  PublishHook hook;
+  {
+    std::lock_guard<std::mutex> lock(hook_mu_);
+    hook = publish_hook_;
+  }
+  if (hook) hook(published);
+}
+
+void PiService::SetPublishHook(PublishHook hook) {
+  std::lock_guard<std::mutex> lock(hook_mu_);
+  publish_hook_ = std::move(hook);
+}
+
+Result<SimTime> PiService::EstimateWhatIf(
+    const pi::MultiQueryPi::WhatIf& scenario, QueryId target) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  return pis_->multi()->EstimateWhatIf(scenario, target);
 }
 
 void PiService::RecordForecastCacheMetricsLocked() {

@@ -38,6 +38,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <queue>
@@ -192,6 +193,20 @@ class PiService {
   /// operations between Advance() calls.
   void PublishNow();
 
+  /// Called with every published snapshot, after it is visible via
+  /// snapshot(), outside all service locks — the network fan-out's
+  /// feed. Must be O(1)-cheap (it runs on the ticker thread). Set to
+  /// nullptr to detach; the caller must keep the hook's targets alive
+  /// until after the detach returns.
+  using PublishHook = std::function<void(const SnapshotPtr&)>;
+  void SetPublishHook(PublishHook hook);
+
+  /// §3 what-if evaluated against the live forecast: remaining time of
+  /// `target` under the hypothetical scenario. Takes the state lock
+  /// (cheap relative to a quantum, like session control calls).
+  Result<SimTime> EstimateWhatIf(const pi::MultiQueryPi::WhatIf& scenario,
+                                 QueryId target);
+
   MetricsRegistry* metrics() { return &metrics_; }
 
   /// Estimate-accuracy auditor (internally locked; reading its reports
@@ -310,6 +325,10 @@ class PiService {
   mutable std::mutex snapshot_mu_;
   SnapshotPtr snapshot_;
   std::uint64_t published_ = 0;
+  // Publish-hook slot; its own tiny lock so installing/clearing never
+  // contends with snapshot reads.
+  std::mutex hook_mu_;
+  PublishHook publish_hook_;
   std::atomic<std::chrono::steady_clock::rep> publish_wall_ns_{0};
 
   // Ticker machinery. `stop_` stops the whole service; `ticker_stop_`
