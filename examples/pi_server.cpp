@@ -10,9 +10,16 @@
 // programmatic consumers — and every published snapshot is pushed to
 // subscribers as delta frames.
 //
-// Usage: pi_server [port] [seconds]
-//   port     TCP port to listen on (default 7654)
-//   seconds  how long to serve before shutting down (default 60)
+// The telemetry plane rides along: an HTTP listener on the same
+// event loop serves /metrics (Prometheus text), /healthz, and
+// /statusz, so `curl http://127.0.0.1:<http_port>/metrics` works
+// while the binary protocol serves dashboards.
+//
+// Usage: pi_server [port] [seconds] [http_port]
+//   port       TCP port to listen on (default 7654)
+//   seconds    how long to serve before shutting down (default 60)
+//   http_port  HTTP telemetry port (default 7655; -1 disables,
+//              0 picks an ephemeral port)
 
 #include <chrono>
 #include <cstdio>
@@ -32,16 +39,21 @@ int main(int argc, char** argv) {
   const auto port = static_cast<std::uint16_t>(
       argc > 1 ? std::atoi(argv[1]) : 7654);
   const int seconds = argc > 2 ? std::atoi(argv[2]) : 60;
+  const int http_port = argc > 3 ? std::atoi(argv[3]) : 7655;
 
   storage::Catalog catalog;
   service::PiServiceOptions options;
   options.rdbms.processing_rate = 100.0;
   options.rdbms.quantum = 0.25;
   options.time_scale = 1.0;  // 1 simulated second per wall second
+  // The demo serves its own telemetry: the per-site cost breakdown on
+  // /statusz is empty without the profiler armed.
+  options.enable_profiler = true;
   service::PiService service(&catalog, options);
 
   net::PiServerOptions server_options;
   server_options.port = port;
+  server_options.http_port = http_port;
   net::PiServer server(&service, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
@@ -53,6 +65,11 @@ int main(int argc, char** argv) {
               server.port(), seconds);
   std::printf("connect a dashboard with: pi_top 127.0.0.1 %u\n",
               server.port());
+  if (server.http_port() != 0) {
+    std::printf("scrape telemetry with: curl http://127.0.0.1:%u/metrics "
+                "(also /healthz, /statusz)\n",
+                server.http_port());
+  }
 
   // The workload: a starting batch plus Poisson arrivals, query sizes
   // Zipf-skewed like the paper's evaluation mix.

@@ -2,7 +2,10 @@
 // protocol. Connects to a running pi_server, SUBSCRIBEs, and renders
 // the pushed snapshot stream — full frame first, then deltas merged
 // client-side by net::SnapshotView — so the server does O(changed
-// rows) work per refresh no matter how many dashboards watch.
+// rows) work per refresh no matter how many dashboards watch. Each
+// refresh also issues a STATS round trip and renders a server-health
+// footer: ticker liveness, watchdog restarts, shed consumers, and
+// this connection's full/delta frame split.
 //
 // Usage: pi_top [host] [port] [seconds]
 //   host     server address (default 127.0.0.1)
@@ -59,6 +62,25 @@ void Render(const net::SnapshotView& view) {
   }
 }
 
+void RenderHealth(const net::StatsReply& stats) {
+  std::printf("--- server: up %llu quanta | published #%llu | age %.1f "
+              "quanta%s | restarts %llu | shed %llu ---\n",
+              static_cast<unsigned long long>(stats.uptime_quanta),
+              static_cast<unsigned long long>(stats.snapshots_published),
+              stats.ticker_age_quanta, stats.degraded ? " | DEGRADED" : "",
+              static_cast<unsigned long long>(stats.watchdog_restarts),
+              static_cast<unsigned long long>(stats.consumers_shed));
+  std::printf("--- conns %llu (%llu subscribed) | this conn: %llu frames "
+              "(%llu full + %llu delta), %llu bytes, queue hw %llu ---\n",
+              static_cast<unsigned long long>(stats.connections),
+              static_cast<unsigned long long>(stats.subscriptions),
+              static_cast<unsigned long long>(stats.conn_frames_sent),
+              static_cast<unsigned long long>(stats.conn_full_frames),
+              static_cast<unsigned long long>(stats.conn_delta_frames),
+              static_cast<unsigned long long>(stats.conn_bytes_sent),
+              static_cast<unsigned long long>(stats.conn_queue_hw_frames));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,6 +119,7 @@ int main(int argc, char** argv) {
       break;
     }
     Render(client->view());
+    if (auto stats = client->Stats(); stats.ok()) RenderHealth(*stats);
   }
   (void)client->Unsubscribe();
   return 0;

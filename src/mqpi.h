@@ -13,8 +13,14 @@
 //              ticker stalls, ...); per-point RNG streams make a chaos
 //              run replayable from its seed alone
 //   obs      - observability: lock-striped runtime tracer (Chrome
-//              trace_event / JSONL export) and the estimate-accuracy
-//              auditor that scores PI trajectories against ground truth
+//              trace_event / JSONL export), the estimate-accuracy
+//              auditor that scores PI trajectories against ground
+//              truth, a scoped hot-path profiler (per-site count /
+//              mean / EWMA / max ns, near-free while disabled), and a
+//              flight recorder — a bounded ring of spans, fault
+//              firings, and sequence gaps that auto-dumps JSONL when
+//              the service degrades (watchdog restart, consumer shed,
+//              degraded publish)
 //   service  - concurrent multi-session frontend: PiService owns the
 //              engine + PIs and drives them from a ticker thread;
 //              Session is the per-client handle (submit / control own
@@ -37,6 +43,8 @@
 #include "engine/sql_parser.h"  // IWYU pragma: export
 #include "fault/fault_injector.h"  // IWYU pragma: export
 #include "obs/auditor.h"        // IWYU pragma: export
+#include "obs/flight_recorder.h"  // IWYU pragma: export
+#include "obs/profiler.h"       // IWYU pragma: export
 #include "obs/tracer.h"         // IWYU pragma: export
 #include "pi/analytic_simulator.h"  // IWYU pragma: export
 #include "pi/multi_query_pi.h"  // IWYU pragma: export

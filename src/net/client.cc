@@ -255,6 +255,15 @@ Status Client::Ping() {
   return Status::Internal("unexpected reply type to PING");
 }
 
+Result<StatsReply> Client::Stats() {
+  auto reply = Call(FrameBody{StatsRequest{}});
+  if (!reply.ok()) return reply.status();
+  if (auto* body = std::get_if<StatsReply>(&*reply)) {
+    return std::move(*body);
+  }
+  return Status::Internal("unexpected reply type to STATS");
+}
+
 Status Client::Subscribe() {
   return Call(FrameBody{SubscribeRequest{}}).status();
 }

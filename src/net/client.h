@@ -86,6 +86,9 @@ class Client {
   Result<ProgressReply> Progress(QueryId id);
   Result<SimTime> WhatIf(const WhatIfRequest& scenario);
   Status Ping();
+  /// Server health: service liveness, fan-out totals, and this
+  /// connection's transfer counters (see wire.h StatsReply).
+  Result<StatsReply> Stats();
   /// SUBSCRIBE; the immediate full snapshot lands in view() (either
   /// during this call or on the next Pump).
   Status Subscribe();

@@ -91,6 +91,10 @@ bool Connection::QueueFrame(std::string bytes) {
   }
   queued_bytes_ += bytes.size();
   write_queue_.push_back(std::move(bytes));
+  stats.queue_hw_frames =
+      std::max<std::uint64_t>(stats.queue_hw_frames, write_queue_.size());
+  stats.queue_hw_bytes =
+      std::max<std::uint64_t>(stats.queue_hw_bytes, queued_bytes_);
   return true;
 }
 
@@ -113,9 +117,11 @@ bool Connection::FlushWrites(std::size_t max_write_bytes) {
     written_this_round += static_cast<std::size_t>(n);
     write_offset_ += static_cast<std::size_t>(n);
     queued_bytes_ -= static_cast<std::size_t>(n);
+    stats.bytes_sent += static_cast<std::uint64_t>(n);
     if (write_offset_ == front.size()) {
       write_queue_.pop_front();
       write_offset_ = 0;
+      ++stats.frames_sent;
     }
   }
   return true;

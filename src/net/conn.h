@@ -88,6 +88,20 @@ class Connection {
   /// fan-out wakeups never re-send an already-delivered sequence).
   std::uint64_t pushed_sequence = 0;
 
+  /// Lifetime transfer stats, maintained here (frames/bytes/high-water
+  /// by the queue and flush paths) and by the server (full vs delta
+  /// push split). Loop-thread-owned like everything else; the STATS
+  /// handler snapshots them into the reply.
+  struct TransferStats {
+    std::uint64_t frames_sent = 0;  // frames fully drained to the socket
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t full_frames = 0;   // SNAPSHOT_FULL pushes
+    std::uint64_t delta_frames = 0;  // SNAPSHOT_DELTA pushes
+    std::uint64_t queue_hw_frames = 0;  // write-queue high-water marks
+    std::uint64_t queue_hw_bytes = 0;
+  };
+  TransferStats stats;
+
  private:
   const int fd_;
   const std::uint64_t id_;

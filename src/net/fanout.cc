@@ -6,6 +6,7 @@
 
 #include "fault/fault_injector.h"
 #include "net/wire.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace mqpi::net {
@@ -43,6 +44,24 @@ NetMetrics::NetMetrics(service::MetricsRegistry* registry) {
   publish_wakeups = registry->counter("net.publish_wakeups");
   connections = registry->gauge("net.connections");
   subscriptions = registry->gauge("net.subscriptions");
+  // Latency lives in nanoseconds (1us .. 1s); the default ms-oriented
+  // bounds would collapse every fast delivery into the first bucket.
+  publish_to_write_ns =
+      registry->histogram("net.publish_to_write_ns", {},
+                          {1e3, 1e4, 5e4, 1e5, 5e5, 1e6, 5e6, 1e7, 5e7,
+                           1e8, 1e9});
+}
+
+void NetMetrics::ObservePublishToWrite(const SnapshotFanout& fanout,
+                                       std::uint64_t sequence) {
+  if (sequence == 0) return;
+  const std::int64_t stamp = fanout.PublishWallNs(sequence);
+  if (stamp == 0) return;
+  const std::int64_t now =
+      std::chrono::steady_clock::now().time_since_epoch().count();
+  if (now >= stamp) {
+    publish_to_write_ns->Observe(static_cast<double>(now - stamp));
+  }
 }
 
 // ---- SnapshotFanout ---------------------------------------------------------
@@ -126,6 +145,7 @@ bool DeltaEncoder::RowChanged(const service::QueryProgress& a,
 
 std::string DeltaEncoder::Encode(const service::SnapshotPtr& next,
                                  bool* is_full) {
+  MQPI_PROF_SITE(prof, "net.delta_encode");
   SnapshotFrame frame;
   frame.sequence = next->sequence;
   frame.sim_time = next->sim_time;
@@ -404,7 +424,11 @@ void SubscriberPool::SweepShard(Shard* shard,
       continue;
     }
     if (subscription->delivered_sequence() >= snapshot->sequence) continue;
-    if (!subscription->Deliver(snapshot, metrics_)) any_dead = true;
+    if (!subscription->Deliver(snapshot, metrics_)) {
+      any_dead = true;
+    } else {
+      metrics_->ObservePublishToWrite(*fanout_, snapshot->sequence);
+    }
   }
   if (!any_dead) return;
   // Compact: drop shed/cancelled subscriptions from the shard.

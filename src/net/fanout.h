@@ -68,6 +68,8 @@ class Tracer;
 
 namespace mqpi::net {
 
+class SnapshotFanout;
+
 /// The net layer's instruments, resolved once against the service's
 /// MetricsRegistry (all names pass the `lint` label check). Shared by
 /// the TCP server, the subscriber pools, and the connections.
@@ -89,6 +91,14 @@ struct NetMetrics {
   service::Counter* publish_wakeups = nullptr;
   service::Gauge* connections = nullptr;
   service::Gauge* subscriptions = nullptr;
+  /// Publish -> socket/queue write latency per subscriber delivery,
+  /// in nanoseconds (publish stamp from SnapshotFanout::PublishWallNs).
+  service::Histogram* publish_to_write_ns = nullptr;
+
+  /// Observes one delivery of `sequence` happening now against its
+  /// publish stamp; no-op when the stamp was evicted from the ring.
+  void ObservePublishToWrite(const SnapshotFanout& fanout,
+                             std::uint64_t sequence);
 
   /// Live tallies behind the two gauges (gauges are last-write-wins;
   /// these atomics make concurrent add/remove safe).

@@ -8,11 +8,14 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <utility>
 
 #include "engine/sql_parser.h"
 #include "fault/fault_injector.h"
+#include "obs/flight_recorder.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace mqpi::net {
@@ -82,6 +85,22 @@ Status PiServer::Start() {
     Stop();
     return Status::Internal("epoll/eventfd setup failed");
   }
+
+  // The telemetry listener rides this same epoll loop: its fds are
+  // routed to the exporter in LoopThread via Owns()/OnEvent().
+  if (options_.http_port >= 0) {
+    HttpExporter::Options http_options;
+    http_options.host = options_.http_host;
+    http_options.port = static_cast<std::uint16_t>(options_.http_port);
+    http_ = std::make_unique<HttpExporter>(service_, metrics_.get(),
+                                           http_options);
+    const Status started = http_->Start(epoll_fd_);
+    if (!started.ok()) {
+      http_.reset();
+      Stop();
+      return started;
+    }
+  }
   epoll_event ev{};
   ev.events = EPOLLIN;
   ev.data.fd = listen_fd_;
@@ -129,6 +148,10 @@ void PiServer::Stop() {
   }
   conns_.clear();
   conn_by_fd_.clear();
+  if (http_ != nullptr) {
+    http_->Stop();
+    http_.reset();
+  }
   if (wake_fd_ >= 0) ::close(wake_fd_);
   if (epoll_fd_ >= 0) ::close(epoll_fd_);
   if (listen_fd_ >= 0) ::close(listen_fd_);
@@ -155,6 +178,10 @@ void PiServer::LoopThread() {
         while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
         }
         snapshot_wake = true;
+        continue;
+      }
+      if (http_ != nullptr && http_->Owns(fd)) {
+        http_->OnEvent(fd, events[i].events);
         continue;
       }
       auto it = conn_by_fd_.find(fd);
@@ -257,6 +284,7 @@ bool PiServer::ServiceConnection(Connection* conn) {
       if (latest != nullptr) {
         std::string push = conn->delta.Encode(latest);
         metrics_->full_frames->Increment();
+        ++conn->stats.full_frames;
         conn->pushed_sequence = latest->sequence;
         QueueOnConn(conn, std::move(push));
       }
@@ -275,6 +303,14 @@ bool PiServer::ServiceConnection(Connection* conn) {
     FrameBody reply = Dispatch(conn->session.get(), frame);
     if (std::holds_alternative<ErrorReply>(reply)) {
       metrics_->request_errors->Increment();
+    }
+    if (auto* stats = std::get_if<StatsReply>(&reply)) {
+      stats->conn_frames_sent = conn->stats.frames_sent;
+      stats->conn_bytes_sent = conn->stats.bytes_sent;
+      stats->conn_full_frames = conn->stats.full_frames;
+      stats->conn_delta_frames = conn->stats.delta_frames;
+      stats->conn_queue_hw_frames = conn->stats.queue_hw_frames;
+      stats->conn_queue_hw_bytes = conn->stats.queue_hw_bytes;
     }
     QueueOnConn(conn, EncodeFrame(frame.header.request_id, reply));
   }
@@ -330,6 +366,11 @@ struct DispatchVisitor {
     FrameBody operator()(const PingRequest& req) {
       return PongReply{req.nonce};
     }
+    FrameBody operator()(const StatsRequest&) {
+      // Server-wide fields only; the TCP loop overlays the conn_*
+      // fields for socket clients (LocalClient sees them as zero).
+      return server->BuildStats();
+    }
     FrameBody operator()(const SubscribeRequest&) {
       return ErrorReply{StatusCode::kFailedPrecondition,
                         "SUBSCRIBE is transport-level"};
@@ -353,22 +394,58 @@ FrameBody PiServer::Dispatch(service::Session* session, const Frame& request) {
   return std::visit(DispatchVisitor{this, session}, request.body);
 }
 
+StatsReply PiServer::BuildStats() {
+  StatsReply stats;
+  const service::PiService::Liveness live = service_->CheckLiveness();
+  stats.uptime_quanta = live.uptime_quanta;
+  stats.ticker_age_quanta = live.age_quanta;
+  stats.watchdog_restarts =
+      service_->metrics()->counter("service.watchdog_restarts")->value();
+  const service::SnapshotPtr latest = fanout_.Latest();
+  if (latest != nullptr) {
+    stats.snapshots_published = latest->sequence;
+    stats.degraded = latest->degraded;
+  }
+  stats.connections = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, metrics_->connection_count.load(std::memory_order_relaxed)));
+  stats.subscriptions = static_cast<std::uint64_t>(std::max<std::int64_t>(
+      0, metrics_->subscription_count.load(std::memory_order_relaxed)));
+  stats.frames_sent = metrics_->frames_sent->value();
+  stats.bytes_sent = metrics_->bytes_sent->value();
+  stats.consumers_shed = metrics_->slow_consumers_shed->value();
+  return stats;
+}
+
 void PiServer::PushSnapshots() {
+  MQPI_PROF_SITE(prof, "net.push_snapshots");
   std::uint64_t epoch = 0;
   const service::SnapshotPtr latest = fanout_.Latest(&epoch);
   pushed_epoch_ = epoch;
   if (latest == nullptr) return;
+  obs::FlightRecorder* flight = service_->flight_recorder();
   std::vector<std::uint64_t> done;
   for (auto& [id, conn] : conns_) {
     if (!conn->subscribed || conn->closing()) continue;
     if (conn->pushed_sequence >= latest->sequence) continue;
+    // Publishes the loop slept through surface as sequence gaps: the
+    // delta encoder folds them into one patch, but the recorder keeps
+    // the evidence that this consumer skipped snapshots.
+    if (conn->pushed_sequence != 0) {
+      flight->ObserveGap("net", "conn_push", conn->pushed_sequence + 1,
+                         latest->sequence);
+    }
     bool is_full = false;
     std::string frame = conn->delta.Encode(latest, &is_full);
     conn->pushed_sequence = latest->sequence;
     (is_full ? metrics_->full_frames : metrics_->delta_frames)->Increment();
+    ++(is_full ? conn->stats.full_frames : conn->stats.delta_frames);
     if (!QueueOnConn(conn.get(), std::move(frame))) {
       metrics_->slow_consumers_shed->Increment();
+      flight->Record(obs::FlightEventKind::kShed, "net", "consumer_shed",
+                     static_cast<double>(id), latest->sequence);
+      flight->Trigger("consumer_shed");
     }
+    metrics_->ObservePublishToWrite(fanout_, latest->sequence);
     FlushConnection(conn.get());
     if (conn->closing() && !conn->wants_write()) {
       done.push_back(id);
@@ -388,6 +465,7 @@ bool PiServer::QueueOnConn(Connection* conn, std::string frame) {
 }
 
 void PiServer::FlushConnection(Connection* conn) {
+  MQPI_PROF_SITE(prof, "net.socket_write");
   if (conn->stall_flushes > 0) {
     --conn->stall_flushes;
     return;

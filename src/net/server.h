@@ -39,6 +39,7 @@
 #include "common/status.h"
 #include "net/conn.h"
 #include "net/fanout.h"
+#include "net/http_export.h"
 #include "net/wire.h"
 #include "service/pi_service.h"
 #include "service/session.h"
@@ -63,6 +64,11 @@ struct PiServerOptions {
   Subscription::Options subscription;
   /// Optional chaos harness (not owned; must outlive the server).
   fault::FaultInjector* fault = nullptr;
+  /// HTTP telemetry listener on the same epoll loop (/metrics,
+  /// /healthz, /statusz): -1 disables it, 0 binds an ephemeral port
+  /// (read back with http_port()), otherwise the given port.
+  int http_port = -1;
+  std::string http_host = "127.0.0.1";
 };
 
 class PiServer {
@@ -88,6 +94,11 @@ class PiServer {
 
   /// The bound TCP port (valid after Start()).
   std::uint16_t port() const { return bound_port_; }
+  /// The HTTP telemetry port (0 when disabled; valid after Start()).
+  std::uint16_t http_port() const {
+    return http_ != nullptr ? http_->port() : 0;
+  }
+  HttpExporter* http() { return http_.get(); }
 
   SnapshotFanout* fanout() { return &fanout_; }
   SubscriberPool* pool() { return pool_.get(); }
@@ -100,6 +111,10 @@ class PiServer {
   /// transport-level and rejected here with FailedPrecondition —
   /// each transport implements them against its own push machinery.
   FrameBody Dispatch(service::Session* session, const Frame& request);
+
+  /// Server-wide STATS fields (service liveness + net totals). The
+  /// per-connection fields stay zero; the TCP loop overlays them.
+  StatsReply BuildStats();
 
   /// Total connections the loop ever accepted (tests).
   std::uint64_t accepted() const {
@@ -134,6 +149,7 @@ class PiServer {
   std::unique_ptr<NetMetrics> metrics_;
   SnapshotFanout fanout_;
   std::unique_ptr<SubscriberPool> pool_;
+  std::unique_ptr<HttpExporter> http_;  // null when http_port < 0
   LoopWaker waker_;
 
   int listen_fd_ = -1;

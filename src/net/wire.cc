@@ -30,11 +30,11 @@ void GetLe(const char* src, void* dst, std::size_t n) {
 }
 
 constexpr std::uint8_t kMaxFrameType =
-    static_cast<std::uint8_t>(FrameType::kError);
+    static_cast<std::uint8_t>(FrameType::kStatsReply);
 
 bool ValidFrameType(std::uint8_t type) {
   if (type >= static_cast<std::uint8_t>(FrameType::kSubmit) &&
-      type <= static_cast<std::uint8_t>(FrameType::kPing)) {
+      type <= static_cast<std::uint8_t>(FrameType::kStats)) {
     return true;
   }
   return type >= static_cast<std::uint8_t>(FrameType::kSubmitReply) &&
@@ -64,6 +64,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kUnsubscribe: return "UNSUBSCRIBE";
     case FrameType::kWhatIf: return "WHATIF";
     case FrameType::kPing: return "PING";
+    case FrameType::kStats: return "STATS";
     case FrameType::kSubmitReply: return "SUBMIT_REPLY";
     case FrameType::kCancelReply: return "CANCEL_REPLY";
     case FrameType::kProgressReply: return "PROGRESS_REPLY";
@@ -74,6 +75,7 @@ std::string_view FrameTypeName(FrameType type) {
     case FrameType::kSnapshotFull: return "SNAPSHOT_FULL";
     case FrameType::kSnapshotDelta: return "SNAPSHOT_DELTA";
     case FrameType::kError: return "ERROR";
+    case FrameType::kStatsReply: return "STATS_REPLY";
   }
   return "UNKNOWN";
 }
@@ -251,6 +253,25 @@ void EncodeBody(WireWriter* w, const WhatIfRequest& p) {
 void EncodeBody(WireWriter* w, const WhatIfReply& p) { w->F64(p.eta); }
 void EncodeBody(WireWriter* w, const PingRequest& p) { w->U64(p.nonce); }
 void EncodeBody(WireWriter* w, const PongReply& p) { w->U64(p.nonce); }
+void EncodeBody(WireWriter*, const StatsRequest&) {}
+void EncodeBody(WireWriter* w, const StatsReply& p) {
+  w->U64(p.uptime_quanta);
+  w->F64(p.ticker_age_quanta);
+  w->U64(p.snapshots_published);
+  w->U64(p.watchdog_restarts);
+  w->U8(p.degraded ? 1 : 0);
+  w->U64(p.connections);
+  w->U64(p.subscriptions);
+  w->U64(p.frames_sent);
+  w->U64(p.bytes_sent);
+  w->U64(p.consumers_shed);
+  w->U64(p.conn_frames_sent);
+  w->U64(p.conn_bytes_sent);
+  w->U64(p.conn_full_frames);
+  w->U64(p.conn_delta_frames);
+  w->U64(p.conn_queue_hw_frames);
+  w->U64(p.conn_queue_hw_bytes);
+}
 void EncodeBody(WireWriter* w, const ErrorReply& p) {
   w->U8(static_cast<std::uint8_t>(p.code));
   w->Str(p.message);
@@ -306,6 +327,10 @@ FrameType TypeOf(const FrameBody& body, bool full_snapshot) {
     }
     FrameType operator()(const PingRequest&) { return FrameType::kPing; }
     FrameType operator()(const PongReply&) { return FrameType::kPong; }
+    FrameType operator()(const StatsRequest&) { return FrameType::kStats; }
+    FrameType operator()(const StatsReply&) {
+      return FrameType::kStatsReply;
+    }
     FrameType operator()(const ErrorReply&) { return FrameType::kError; }
     FrameType operator()(const SnapshotFrame&) {
       return full ? FrameType::kSnapshotFull : FrameType::kSnapshotDelta;
@@ -393,6 +418,23 @@ bool DecodeBody(WireReader* r, WhatIfRequest* p) {
 bool DecodeBody(WireReader* r, WhatIfReply* p) { return r->F64(&p->eta); }
 bool DecodeBody(WireReader* r, PingRequest* p) { return r->U64(&p->nonce); }
 bool DecodeBody(WireReader* r, PongReply* p) { return r->U64(&p->nonce); }
+bool DecodeBody(WireReader*, StatsRequest*) { return true; }
+bool DecodeBody(WireReader* r, StatsReply* p) {
+  std::uint8_t degraded = 0;
+  const bool ok = r->U64(&p->uptime_quanta) && r->F64(&p->ticker_age_quanta) &&
+                  r->U64(&p->snapshots_published) &&
+                  r->U64(&p->watchdog_restarts) && r->U8(&degraded) &&
+                  r->U64(&p->connections) && r->U64(&p->subscriptions) &&
+                  r->U64(&p->frames_sent) && r->U64(&p->bytes_sent) &&
+                  r->U64(&p->consumers_shed) && r->U64(&p->conn_frames_sent) &&
+                  r->U64(&p->conn_bytes_sent) &&
+                  r->U64(&p->conn_full_frames) &&
+                  r->U64(&p->conn_delta_frames) &&
+                  r->U64(&p->conn_queue_hw_frames) &&
+                  r->U64(&p->conn_queue_hw_bytes);
+  p->degraded = degraded != 0;
+  return ok;
+}
 bool DecodeBody(WireReader* r, ErrorReply* p) {
   std::uint8_t code = 0;
   if (!r->U8(&code) || !r->Str(&p->message)) return false;
@@ -455,6 +497,8 @@ bool DecodePayload(FrameType type, WireReader* r, FrameBody* body) {
     case FrameType::kWhatIfReply: return DecodeInto<WhatIfReply>(r, body);
     case FrameType::kPing: return DecodeInto<PingRequest>(r, body);
     case FrameType::kPong: return DecodeInto<PongReply>(r, body);
+    case FrameType::kStats: return DecodeInto<StatsRequest>(r, body);
+    case FrameType::kStatsReply: return DecodeInto<StatsReply>(r, body);
     case FrameType::kError: return DecodeInto<ErrorReply>(r, body);
     case FrameType::kSnapshotFull:
     case FrameType::kSnapshotDelta:

@@ -18,7 +18,7 @@
 // Request/reply pairs: SUBMIT -> SUBMIT_REPLY, CANCEL -> CANCEL_REPLY,
 // PROGRESS -> PROGRESS_REPLY, SUBSCRIBE -> SUBSCRIBE_REPLY,
 // UNSUBSCRIBE -> UNSUBSCRIBE_REPLY, WHATIF -> WHATIF_REPLY, PING ->
-// PONG. Any request can instead be answered by an ERROR frame carrying
+// PONG, STATS -> STATS_REPLY. Any request can instead be answered by an ERROR frame carrying
 // the Status code + message (Status-coded, never a torn connection for
 // a semantic error). Subscribed connections additionally receive
 // unsolicited SNAPSHOT_FULL / SNAPSHOT_DELTA pushes; the delta
@@ -64,6 +64,7 @@ enum class FrameType : std::uint8_t {
   kUnsubscribe = 5,
   kWhatIf = 6,
   kPing = 7,
+  kStats = 8,
   // server -> client
   kSubmitReply = 64,
   kCancelReply = 65,
@@ -75,6 +76,7 @@ enum class FrameType : std::uint8_t {
   kSnapshotFull = 71,
   kSnapshotDelta = 72,
   kError = 73,
+  kStatsReply = 74,
 };
 
 /// Stable name for logs/tests ("SUBMIT", "SNAPSHOT_DELTA", ...).
@@ -149,6 +151,36 @@ struct PongReply {
   std::uint64_t nonce = 0;
 };
 
+/// STATS: remote server-health probe (pi_top's footer). Server-wide
+/// tallies come from the service's liveness signal and the fan-out's
+/// NetMetrics; the conn_* fields describe the asking connection and
+/// are overlaid by the TCP server (zero over in-process transports).
+struct StatsRequest {};
+struct StatsReply {
+  // --- service plane ---
+  std::uint64_t uptime_quanta = 0;
+  /// Wall time since the last publication, in expected tick periods.
+  double ticker_age_quanta = 0.0;
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t watchdog_restarts = 0;
+  /// Latest snapshot's degraded (staleness) flag.
+  bool degraded = false;
+  // --- network plane (server-wide) ---
+  std::uint64_t connections = 0;
+  std::uint64_t subscriptions = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t consumers_shed = 0;
+  // --- the asking connection ---
+  std::uint64_t conn_frames_sent = 0;
+  std::uint64_t conn_bytes_sent = 0;
+  std::uint64_t conn_full_frames = 0;
+  std::uint64_t conn_delta_frames = 0;
+  /// Write-queue high-water marks over the connection's lifetime.
+  std::uint64_t conn_queue_hw_frames = 0;
+  std::uint64_t conn_queue_hw_bytes = 0;
+};
+
 /// Status-coded failure for the request whose id the header echoes.
 struct ErrorReply {
   StatusCode code = StatusCode::kInternal;
@@ -187,7 +219,7 @@ using FrameBody =
                  ProgressRequest, ProgressReply, SubscribeRequest,
                  SubscribeReply, UnsubscribeRequest, UnsubscribeReply,
                  WhatIfRequest, WhatIfReply, PingRequest, PongReply,
-                 ErrorReply, SnapshotFrame>;
+                 StatsRequest, StatsReply, ErrorReply, SnapshotFrame>;
 
 struct Frame {
   FrameHeader header;

@@ -1,0 +1,110 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+namespace mqpi::obs {
+
+thread_local ProfScope* ProfScope::current_ = nullptr;
+
+namespace {
+
+/// EWMA smoothing: new = old + (sample - old) / 16. Integer-free to
+/// keep fractional decay; the racy read-modify-write loses precision
+/// under contention, never correctness (it is a smoothed diagnostic).
+constexpr double kEwmaAlpha = 1.0 / 16.0;
+
+}  // namespace
+
+void ProfSite::Record(std::uint64_t ns) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_ns_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_ns_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_ns_.compare_exchange_weak(seen, ns,
+                                        std::memory_order_relaxed)) {
+  }
+  const double old = ewma_ns_.load(std::memory_order_relaxed);
+  const double next = old == 0.0
+                          ? static_cast<double>(ns)
+                          : old + (static_cast<double>(ns) - old) * kEwmaAlpha;
+  ewma_ns_.store(next, std::memory_order_relaxed);
+}
+
+void ProfSite::Reset() {
+  count_.store(0, std::memory_order_relaxed);
+  total_ns_.store(0, std::memory_order_relaxed);
+  max_ns_.store(0, std::memory_order_relaxed);
+  child_ns_.store(0, std::memory_order_relaxed);
+  ewma_ns_.store(0.0, std::memory_order_relaxed);
+}
+
+ProfSite* Profiler::Site(const char* name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& site : sites_) {
+    if (std::string_view(site->name()) == name) return site.get();
+  }
+  sites_.push_back(std::make_unique<ProfSite>(name));
+  return sites_.back().get();
+}
+
+std::vector<ProfSiteSnapshot> Profiler::Snapshot() const {
+  std::vector<ProfSiteSnapshot> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(sites_.size());
+    for (const auto& site : sites_) {
+      ProfSiteSnapshot snap;
+      snap.name = site->name();
+      snap.count = site->count();
+      snap.total_ns = site->total_ns();
+      snap.max_ns = site->max_ns();
+      snap.child_ns = site->child_ns();
+      snap.self_ns =
+          snap.total_ns > snap.child_ns ? snap.total_ns - snap.child_ns : 0;
+      snap.ewma_ns = site->ewma_ns();
+      snap.mean_ns = snap.count > 0 ? static_cast<double>(snap.total_ns) /
+                                          static_cast<double>(snap.count)
+                                    : 0.0;
+      out.push_back(std::move(snap));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ProfSiteSnapshot& a, const ProfSiteSnapshot& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Profiler::Summary() const {
+  std::string out = enabled() ? "profiler: enabled\n" : "profiler: disabled\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-32s %10s %12s %12s %12s %12s %12s\n",
+                "site", "count", "mean_ns", "ewma_ns", "max_ns", "self_ms",
+                "total_ms");
+  out += line;
+  for (const auto& site : Snapshot()) {
+    std::snprintf(line, sizeof(line),
+                  "%-32s %10llu %12.0f %12.0f %12llu %12.3f %12.3f\n",
+                  site.name.c_str(),
+                  static_cast<unsigned long long>(site.count), site.mean_ns,
+                  site.ewma_ns, static_cast<unsigned long long>(site.max_ns),
+                  static_cast<double>(site.self_ns) / 1e6,
+                  static_cast<double>(site.total_ns) / 1e6);
+    out += line;
+  }
+  return out;
+}
+
+void Profiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& site : sites_) site->Reset();
+}
+
+Profiler* GlobalProfiler() {
+  static Profiler profiler;
+  return &profiler;
+}
+
+}  // namespace mqpi::obs

@@ -1,0 +1,184 @@
+// Profiler: the hot-path cost accountant — scoped, hierarchical,
+// always compiled in, and free when off.
+//
+// Where the Tracer answers "what happened, in order" (a bounded event
+// log), the profiler answers "where do the nanoseconds go, per site":
+// each instrumented scope (`Rdbms::Step`, the estimate/forecast pass,
+// `BuildSnapshotLocked`, the publish hook, fan-out delta-encode,
+// socket writes...) accumulates count / total ns / max ns / an EWMA of
+// recent span cost, so every quantum has a standing cost breakdown the
+// /statusz endpoint and STATS consumers can read live.
+//
+// Design rules, in the Tracer's tradition:
+//   1. Off means off: every entry point is one relaxed atomic load
+//      (`enabled()`); a ProfSpan constructed while disabled is inert
+//      (no clock read, no registration, destructor is a null check).
+//   2. Sites are static: a call site names its site once with a string
+//      literal (`MQPI_PROF_SITE`), gets a stable `ProfSite*` back, and
+//      records into plain relaxed atomics from then on — recording
+//      never takes a lock and never allocates.
+//   3. Hierarchy by scope nesting: spans form a per-thread stack; a
+//      child's duration is charged to the parent's `child_ns` so
+//      `self_ns = total_ns - child_ns` falls out without the profiler
+//      ever walking a tree.
+//
+// Readers (Snapshot / Summary) see a consistent-enough view: relaxed
+// counters may be a few events apart mid-scrape, which is fine for an
+// operational cost breakdown and keeps the hot path untouched.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mqpi::obs {
+
+/// One instrumented scope's accumulators. All fields are relaxed
+/// atomics: recording threads add, scrapers read, nobody blocks.
+class ProfSite {
+ public:
+  explicit ProfSite(const char* name) : name_(name) {}
+
+  const char* name() const { return name_; }
+
+  /// Fold one completed span of `ns` nanoseconds into the site.
+  void Record(std::uint64_t ns);
+  /// Charge a completed child span's duration to this site.
+  void AddChild(std::uint64_t ns) {
+    child_ns_.fetch_add(ns, std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t total_ns() const {
+    return total_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t max_ns() const {
+    return max_ns_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t child_ns() const {
+    return child_ns_.load(std::memory_order_relaxed);
+  }
+  /// Exponentially weighted moving average of recent span costs
+  /// (alpha = 1/16); tracks "what does this site cost right now".
+  double ewma_ns() const { return ewma_ns_.load(std::memory_order_relaxed); }
+
+  void Reset();
+
+ private:
+  const char* name_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> total_ns_{0};
+  std::atomic<std::uint64_t> max_ns_{0};
+  std::atomic<std::uint64_t> child_ns_{0};
+  std::atomic<double> ewma_ns_{0.0};
+};
+
+/// Point-in-time copy of one site, for renderers.
+struct ProfSiteSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+  /// Nanoseconds spent in instrumented child scopes (hierarchy).
+  std::uint64_t child_ns = 0;
+  /// total - child, clamped at 0 (children may outpace the parent's
+  /// own record by a few in-flight spans mid-scrape).
+  std::uint64_t self_ns = 0;
+  double ewma_ns = 0.0;
+  double mean_ns = 0.0;
+};
+
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// The hot-path gate: one relaxed atomic load.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Returns the stable site for `name` (registered on first use).
+  /// `name` must be a string literal (static storage) — sites keep the
+  /// pointer. Registration takes a lock; call it once and cache the
+  /// pointer (MQPI_PROF_SITE does exactly that).
+  ProfSite* Site(const char* name);
+
+  /// All registered sites, sorted by name.
+  std::vector<ProfSiteSnapshot> Snapshot() const;
+
+  /// Human-readable per-site table (the /statusz body): one line per
+  /// site with count, mean/ewma/max ns, and self vs total time.
+  std::string Summary() const;
+
+  /// Zero every site's accumulators (sites stay registered).
+  void Reset();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;  // guards registration only, never recording
+  std::vector<std::unique_ptr<ProfSite>> sites_;
+};
+
+/// The process-wide profiler every subsystem records into. Disabled by
+/// default; `PiService` enables it when options request, or callers
+/// flip it directly.
+Profiler* GlobalProfiler();
+
+/// RAII scope: records one span into `site` on destruction and charges
+/// the duration to the enclosing ProfScope's site (per-thread stack).
+/// Inert (a single relaxed load, nothing else) when the profiler is
+/// off at construction.
+class ProfScope {
+ public:
+  ProfScope(Profiler* profiler, ProfSite* site)
+      : site_(profiler != nullptr && site != nullptr && profiler->enabled()
+                  ? site
+                  : nullptr) {
+    if (site_ == nullptr) return;
+    parent_ = current_;
+    current_ = this;
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ProfScope() {
+    if (site_ == nullptr) return;
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+    site_->Record(ns);
+    if (parent_ != nullptr && parent_->site_ != nullptr) {
+      parent_->site_->AddChild(ns);
+    }
+    current_ = parent_;
+  }
+
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+
+ private:
+  ProfSite* site_;
+  ProfScope* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+
+  static thread_local ProfScope* current_;
+};
+
+/// Declares a function-local cached site and opens a ProfScope over it:
+///   MQPI_PROF_SITE(scope_var, "service.step_quantum");
+/// The Site() lookup (lock + vector scan) runs once per call site.
+#define MQPI_PROF_SITE(var, name)                                     \
+  static ::mqpi::obs::ProfSite* var##_site =                          \
+      ::mqpi::obs::GlobalProfiler()->Site(name);                      \
+  ::mqpi::obs::ProfScope var(::mqpi::obs::GlobalProfiler(), var##_site)
+
+}  // namespace mqpi::obs

@@ -23,7 +23,37 @@ void AppendNumber(std::string* out, double v) {
   out->append(buf);
 }
 
-std::string RenderJson(const TraceEvent& event) {
+/// Appends `s` JSON-escaped (no surrounding quotes). Categories and
+/// names are *supposed* to be JSON-safe literals, but a stray quote,
+/// backslash, or control character must not corrupt the whole export.
+void AppendJsonEscaped(std::string* out, const char* s) {
+  if (s == nullptr) return;
+  for (const char* p = s; *p != '\0'; ++p) {
+    const unsigned char c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': out->append("\\\""); break;
+      case '\\': out->append("\\\\"); break;
+      case '\b': out->append("\\b"); break;
+      case '\f': out->append("\\f"); break;
+      case '\n': out->append("\\n"); break;
+      case '\r': out->append("\\r"); break;
+      case '\t': out->append("\\t"); break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out->append(buf);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string RenderTraceEventJson(const TraceEvent& event) {
   std::string out = "{\"ts\":";
   // Chrome expects microseconds.
   AppendNumber(&out, static_cast<double>(event.ts_ns) / 1000.0);
@@ -34,9 +64,9 @@ std::string RenderJson(const TraceEvent& event) {
   out += ",\"ph\":\"";
   out += static_cast<char>(event.phase);
   out += "\",\"cat\":\"";
-  out += event.category;
+  AppendJsonEscaped(&out, event.category);
   out += "\",\"name\":\"";
-  out += event.name;
+  AppendJsonEscaped(&out, event.name);
   out += "\",\"pid\":1,\"tid\":";
   AppendNumber(&out, event.tid);
   bool has_args = event.query != kInvalidQueryId ||
@@ -48,7 +78,7 @@ std::string RenderJson(const TraceEvent& event) {
       if (!first) out += ",";
       first = false;
       out += "\"";
-      out += key;
+      AppendJsonEscaped(&out, key);
       out += "\":";
       AppendNumber(&out, value);
     };
@@ -62,8 +92,6 @@ std::string RenderJson(const TraceEvent& event) {
   out += "}";
   return out;
 }
-
-}  // namespace
 
 Tracer::Tracer(TracerOptions options)
     : options_(options),
@@ -184,14 +212,14 @@ void Tracer::Clear() {
 }
 
 void Tracer::ExportJsonl(std::ostream& os) const {
-  for (const auto& event : Events()) os << RenderJson(event) << "\n";
+  for (const auto& event : Events()) os << RenderTraceEventJson(event) << "\n";
 }
 
 void Tracer::ExportChromeTrace(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   bool first = true;
   for (const auto& event : Events()) {
-    os << (first ? "\n" : ",\n") << RenderJson(event);
+    os << (first ? "\n" : ",\n") << RenderTraceEventJson(event);
     first = false;
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";

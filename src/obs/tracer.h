@@ -64,6 +64,12 @@ struct TraceEvent {
   double arg2 = 0.0;
 };
 
+/// Renders one event as a single Chrome-trace-style JSON object
+/// (`{"ts":..,"ph":"X","cat":..,"name":..,...}`, timestamps in
+/// microseconds). String fields are JSON-escaped. Shared by the
+/// Tracer's exports and the FlightRecorder's dumps.
+std::string RenderTraceEventJson(const TraceEvent& event);
+
 struct TracerOptions {
   /// Total event capacity, split across the stripes. Rings are
   /// allocated lazily on each stripe's first event.

@@ -1,5 +1,6 @@
 #include "pi/pi_manager.h"
 
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace mqpi::pi {
@@ -86,6 +87,7 @@ std::vector<PiManager::ProgressRow> PiManager::Report() const {
 }
 
 void PiManager::AfterStep() {
+  MQPI_PROF_SITE(prof, "pi.after_step");
   obs::TraceSpan span(tracer_, "pi", "after_step");
   span.arg("t", db_->now());
   span.arg("tracked", static_cast<double>(singles_.size()));

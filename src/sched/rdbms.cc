@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/profiler.h"
 #include "obs/tracer.h"
 
 namespace mqpi::sched {
@@ -272,6 +273,7 @@ void Rdbms::SetAdmissionOpen(bool open) {
 
 void Rdbms::Step(SimTime dt) {
   if (!MQPI_DCHECK(dt >= 0.0)) return;
+  MQPI_PROF_SITE(prof, "sched.step");
   SimTime remaining = dt;
   while (remaining > kTimeEpsilon) {
     const SimTime step = std::min(remaining, options_.quantum);

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "fault/fault_injector.h"
+#include "obs/profiler.h"
 #include "service/session.h"
 
 namespace mqpi::service {
@@ -53,7 +54,9 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
       db_(std::make_unique<sched::Rdbms>(catalog, options_.rdbms)),
       fault_(options_.fault),
       auditor_(ResolveAuditorOptions(options_)),
-      tracer_(obs::GlobalTracer()) {
+      tracer_(obs::GlobalTracer()),
+      flight_(options_.flight_recorder) {
+  if (options_.enable_profiler) obs::GlobalProfiler()->set_enabled(true);
   if (options_.future_prior.lambda > 0.0 ||
       options_.future_prior_strength > 0.0) {
     future_ = options_.future_prior_strength > 0.0
@@ -115,6 +118,9 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   degraded_estimates_ = metrics_.counter("pi.degraded_estimates");
   rate_floor_hits_ = metrics_.counter("pi.rate_floor_hits");
   corrupt_rate_samples_ = metrics_.counter("pi.corrupt_rate_samples");
+  uptime_quanta_gauge_ = metrics_.gauge("service.uptime_quanta");
+  ticker_age_quanta_gauge_ =
+      metrics_.gauge("service.ticker_last_step_age_quanta");
   step_wall_ms_ = metrics_.histogram("step.wall_ms");
   snapshot_age_ms_ = metrics_.histogram("snapshot.age_ms");
 
@@ -358,6 +364,7 @@ void PiService::SubmitDueArrivalsLocked() {
 bool PiService::IdleLocked() const { return db_->Idle() && arrivals_.empty(); }
 
 void PiService::StepAndPublish(SimTime dt) {
+  MQPI_PROF_SITE(prof, "service.step_quantum");
   obs::TraceSpan span(tracer_, "service", "step_and_publish");
   const auto start = WallClock::now();
   std::shared_ptr<ProgressSnapshot> snapshot;
@@ -393,7 +400,13 @@ void PiService::StepAndPublish(SimTime dt) {
     Publish(std::move(snapshot));
   }
   quanta_stepped_->Increment();
-  step_wall_ms_->Observe(MsSince(start));
+  uptime_quanta_gauge_->Set(static_cast<double>(quanta_stepped_->value()));
+  const double step_ms = MsSince(start);
+  step_wall_ms_->Observe(step_ms);
+  if (flight_.enabled()) {
+    flight_.Record(obs::FlightEventKind::kSpan, "service", "step_quantum",
+                   step_ms * 1e6);
+  }
 }
 
 void PiService::PublishStaleCopy() {
@@ -411,7 +424,15 @@ void PiService::PublishStaleCopy() {
     tracer_->Instant("service", "stale_snapshot", kInvalidQueryId, "age",
                      static_cast<double>(stale->age_quanta));
   }
+  if (flight_.enabled()) {
+    flight_.Record(obs::FlightEventKind::kNote, "service", "stale_snapshot",
+                   static_cast<double>(stale->age_quanta));
+  }
+  const bool degraded = stale->degraded;
   Publish(std::move(stale));
+  // The black-box moment: publication has been stale long enough to be
+  // flagged untrustworthy. Preserve the window leading up to it.
+  if (degraded) flight_.Trigger("degraded_publish");
 }
 
 void PiService::FeedAuditor(const ProgressSnapshot& snapshot) {
@@ -457,6 +478,7 @@ void PiService::RecordAccuracyMetrics(const obs::QueryAccuracy& report) {
 }
 
 std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
+  MQPI_PROF_SITE(prof, "service.build_snapshot");
   auto snapshot = std::make_shared<ProgressSnapshot>();
   snapshot->sim_time = db_->now();
   snapshot->measured_rate = pis_->multi()->estimated_rate();
@@ -598,7 +620,10 @@ void PiService::Publish(std::shared_ptr<ProgressSnapshot> snapshot) {
     std::lock_guard<std::mutex> lock(hook_mu_);
     hook = publish_hook_;
   }
-  if (hook) hook(published);
+  if (hook) {
+    MQPI_PROF_SITE(prof, "service.publish_hook");
+    hook(published);
+  }
 }
 
 void PiService::SetPublishHook(PublishHook hook) {
@@ -660,6 +685,10 @@ void PiService::RecordDegradationMetricsLocked() {
     if (stat.fires > *seen) {
       metrics_.counter("fault.injected", {{"point", stat.point}})
           ->Increment(stat.fires - *seen);
+      if (flight_.enabled()) {
+        flight_.Record(obs::FlightEventKind::kFault, "fault", stat.point,
+                       static_cast<double>(stat.fires - *seen));
+      }
       *seen = stat.fires;
     }
   }
@@ -673,6 +702,35 @@ void PiService::PublishNow() {
     RecordForecastCacheMetricsLocked();
   }
   Publish(std::move(snapshot));
+}
+
+PiService::Liveness PiService::CheckLiveness() const {
+  Liveness live;
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    live.busy = !IdleLocked();
+  }
+  const auto published = publish_wall_ns_.load(std::memory_order_acquire);
+  live.since_publish_s =
+      std::chrono::duration<double>(
+          WallClock::duration(
+              WallClock::now().time_since_epoch().count() - published))
+          .count();
+  // A paced ticker legitimately publishes only once per tick period;
+  // never call a gap shorter than a few periods a stall.
+  live.stall_threshold_s = options_.watchdog.stall_threshold_s;
+  const double period_s =
+      options_.time_scale > 0.0
+          ? options_.rdbms.quantum / options_.time_scale
+          : options_.rdbms.quantum;
+  if (options_.time_scale > 0.0) {
+    live.stall_threshold_s = std::max(live.stall_threshold_s, 4.0 * period_s);
+  }
+  live.age_quanta = period_s > 0.0 ? live.since_publish_s / period_s : 0.0;
+  live.uptime_quanta = quanta_stepped_->value();
+  uptime_quanta_gauge_->Set(static_cast<double>(live.uptime_quanta));
+  ticker_age_quanta_gauge_->Set(live.age_quanta);
+  return live;
 }
 
 SnapshotPtr PiService::snapshot() const {
@@ -821,40 +879,32 @@ void PiService::WatchdogLoop() {
       std::lock_guard<std::mutex> lock(ticker_mu_);
       if (!ticker_.joinable()) continue;  // stopped deliberately
     }
-    bool busy;
-    {
-      std::lock_guard<std::mutex> lock(state_mu_);
-      busy = !IdleLocked();
-    }
-    const auto published =
-        publish_wall_ns_.load(std::memory_order_acquire);
-    const double since_publish_s =
-        std::chrono::duration<double>(
-            WallClock::duration(
-                WallClock::now().time_since_epoch().count() - published))
-            .count();
-    // A paced ticker legitimately publishes only once per tick period;
-    // never call a gap shorter than a few periods a stall.
-    double threshold_s = wd.stall_threshold_s;
-    if (options_.time_scale > 0.0) {
-      threshold_s = std::max(
-          threshold_s, 4.0 * options_.rdbms.quantum / options_.time_scale);
-    }
-    if (!busy || since_publish_s <= threshold_s) {
+    const Liveness live = CheckLiveness();
+    if (!live.stalled()) {
       backoff_s = wd.backoff_initial_s;  // healthy: reset the backoff
       continue;
     }
 
     // Stalled: work is pending but nothing has been published for
-    // over the threshold. Replace the ticker thread.
+    // over the threshold. Replace the ticker thread. All restart
+    // observability lands between stop and start: the flight dump
+    // must capture the ring leading up to the stall before the fresh
+    // ticker appends to it, and the counter/trace/trigger must be
+    // visible by the time the new ticker can make progress (anything
+    // that observes the service healthy again sees the full record).
     StopTickerThread();
     if (stop_requested()) break;
-    StartTickerThread();
     watchdog_restarts_->Increment();
     if (tracer_->enabled()) {
       tracer_->Instant("service", "watchdog_restart", kInvalidQueryId,
-                       "stalled_s", since_publish_s);
+                       "stalled_s", live.since_publish_s);
     }
+    if (flight_.enabled()) {
+      flight_.Record(obs::FlightEventKind::kNote, "service",
+                     "watchdog_restart", live.since_publish_s);
+    }
+    flight_.Trigger("watchdog_restart");
+    StartTickerThread();
     interruptible_sleep(backoff_s);
     backoff_s = std::min(backoff_s * 2.0, wd.backoff_max_s);
   }

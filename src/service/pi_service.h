@@ -51,6 +51,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "obs/auditor.h"
+#include "obs/flight_recorder.h"
 #include "obs/tracer.h"
 #include "pi/future_model.h"
 #include "pi/pi_manager.h"
@@ -136,6 +137,16 @@ struct PiServiceOptions {
   /// incremented; once the age reaches this many quanta the snapshot
   /// is flagged `degraded` so readers can distrust it.
   int stale_snapshot_quanta = 4;
+  /// The incident black box (see obs/flight_recorder.h). Always
+  /// recording by default; the service pulls its dump triggers on
+  /// watchdog restarts and degraded publications, and the network
+  /// edge adds consumer sheds.
+  obs::FlightRecorderOptions flight_recorder;
+  /// Arm the process-wide hot-path profiler (obs::GlobalProfiler())
+  /// at construction so every quantum accumulates a per-site cost
+  /// breakdown for /statusz. Off by default: disabled cost is one
+  /// relaxed load per instrumented scope.
+  bool enable_profiler = false;
 };
 
 class PiService {
@@ -217,6 +228,31 @@ class PiService {
   /// The process-wide tracer every subsystem records into. Enable with
   /// `tracer()->set_enabled(true)` before the run you want captured.
   obs::Tracer* tracer() { return tracer_; }
+
+  /// The service's incident black box (internally locked).
+  obs::FlightRecorder* flight_recorder() { return &flight_; }
+  const obs::FlightRecorder* flight_recorder() const { return &flight_; }
+
+  /// One liveness verdict shared by the ticker watchdog and the
+  /// /healthz endpoint, so "healthy" means exactly one thing. Also
+  /// refreshes the `service.uptime_quanta` and
+  /// `service.ticker_last_step_age_quanta` gauges.
+  struct Liveness {
+    /// Work is pending (running, queued, or scheduled arrivals).
+    bool busy = false;
+    /// Wall seconds since the last snapshot publication.
+    double since_publish_s = 0.0;
+    /// Stall verdict boundary (watchdog threshold, pacing-adjusted).
+    double stall_threshold_s = 0.0;
+    /// since_publish_s expressed in expected tick periods.
+    double age_quanta = 0.0;
+    /// Quanta stepped since construction.
+    std::uint64_t uptime_quanta = 0;
+    bool stalled() const {
+      return busy && since_publish_s > stall_threshold_s;
+    }
+  };
+  Liveness CheckLiveness() const;
 
   const PiServiceOptions& options() const { return options_; }
 
@@ -372,6 +408,8 @@ class PiService {
   Counter* degraded_estimates_;
   Counter* rate_floor_hits_;
   Counter* corrupt_rate_samples_;
+  Gauge* uptime_quanta_gauge_;
+  Gauge* ticker_age_quanta_gauge_;
   Histogram* step_wall_ms_;
   Histogram* snapshot_age_ms_;
   // Last PI cache totals already published (guarded by state_mu_).
@@ -401,6 +439,7 @@ class PiService {
 
   obs::EstimateAuditor auditor_;
   obs::Tracer* tracer_;  // the process-wide tracer, cached
+  obs::FlightRecorder flight_;
 };
 
 }  // namespace mqpi::service

@@ -65,6 +65,32 @@ for name in $required_counters; do
   fi
 done
 
+# Gauges the liveness contract shares between /healthz and the
+# watchdog.
+required_gauges="
+service.uptime_quanta
+service.ticker_last_step_age_quanta
+"
+for name in $required_gauges; do
+  if ! grep -q "^gauge $name\$" "$names_file"; then
+    echo "required gauge '$name' is no longer registered anywhere" >&2
+    fail=1
+  fi
+done
+
+# Histograms the telemetry plane promises: Prometheus scrapes key on
+# the *_bucket families these expand into.
+required_histograms="
+net.publish_to_write_ns
+step.wall_ms
+"
+for name in $required_histograms; do
+  if ! grep -q "^histogram $name\$" "$names_file"; then
+    echo "required histogram '$name' is no longer registered anywhere" >&2
+    fail=1
+  fi
+done
+
 if [ "$fail" -eq 0 ]; then
   echo "check_metrics_names: $(wc -l < "$names_file") metric names OK"
 fi
