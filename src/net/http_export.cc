@@ -146,7 +146,28 @@ void HttpExporter::AcceptPending() {
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    int rc = ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    if (rc == 0) {
+      const int pending =
+          inject_epoll_add_failures_.load(std::memory_order_relaxed);
+      if (pending > 0) {
+        inject_epoll_add_failures_.store(pending - 1,
+                                         std::memory_order_relaxed);
+        ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+        rc = -1;
+      }
+    }
+    if (rc != 0) {
+      // An fd that never made it onto the epoll can never become
+      // readable: it would sit in scrapes_ forever, permanently
+      // counting toward max_connections until the cap starves
+      // /metrics//healthz. Refuse the connection instead of tracking
+      // an unpollable socket. Count before close so a peer observing
+      // the resulting EOF sees the error already tallied.
+      ++requests_error_;
+      ::close(fd);
+      continue;
+    }
     scrapes_.emplace(fd, Scrape{});
   }
 }

@@ -87,6 +87,15 @@ class HttpExporter {
     return requests_error_.load(std::memory_order_relaxed);
   }
 
+  /// Test-only: makes the next `n` scrape-fd epoll registrations behave
+  /// as if epoll_ctl(EPOLL_CTL_ADD) failed. Lets tests cover the
+  /// registration-failure path, which cannot be provoked naturally on a
+  /// healthy epoll. Safe to arm from a test thread; the countdown is
+  /// consumed on the loop thread.
+  void InjectEpollAddFailuresForTest(int n) {
+    inject_epoll_add_failures_.store(n, std::memory_order_relaxed);
+  }
+
  private:
   struct Scrape {
     std::string in;    // request bytes until the blank line
@@ -116,6 +125,7 @@ class HttpExporter {
   std::unordered_map<int, Scrape> scrapes_;
   std::atomic<std::uint64_t> requests_ok_{0};
   std::atomic<std::uint64_t> requests_error_{0};
+  std::atomic<int> inject_epoll_add_failures_{0};
 };
 
 }  // namespace mqpi::net

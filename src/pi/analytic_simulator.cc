@@ -153,7 +153,7 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
 
   std::size_t events = 0;
   while (real_finished < real_total) {
-    if (++events > options.max_events || t > options.horizon) break;
+    if (++events > options.max_events) break;
 
     // Next arrival (real stream vs virtual stream).
     SimTime arrival_t = kInfiniteTime;
@@ -171,6 +171,13 @@ Result<ForecastResult> AnalyticSimulator::Forecast(
     }
 
     if (finish_t == kInfiniteTime && arrival_t == kInfiniteTime) break;
+
+    // Horizon contract (analytic_simulator.h): nothing past the horizon
+    // is ever committed. The next event's time must be checked *before*
+    // processing it — testing `t` at the top of the following iteration
+    // would record the first beyond-horizon finish with its real time.
+    // Events landing exactly on the horizon still count.
+    if (std::min(arrival_t, finish_t) > options.horizon) break;
 
     if (arrival_t < finish_t) {
       // Advance progress to the arrival instant, then enqueue/admit.

@@ -30,6 +30,7 @@ void IncrementalForecast::Clear() {
   slot_.clear();
   root_ = -1;
   x_ = 0.0;
+  ++structure_version_;
 }
 
 void IncrementalForecast::Pull(int i) {
@@ -149,6 +150,7 @@ Status IncrementalForecast::Insert(QueryId id, WorkUnits cost,
                                    " already active");
   }
   InsertNodeAt(id, x_ + cost / weight, weight);
+  ++structure_version_;
   return Status::OK();
 }
 
@@ -177,6 +179,7 @@ Status IncrementalForecast::Remove(QueryId id) {
   double w;
   Detach(id, &v, &w);
   if (slot_.empty()) x_ = 0.0;  // free exactness: rebase when drained
+  ++structure_version_;
   return Status::OK();
 }
 
@@ -198,6 +201,7 @@ Status IncrementalForecast::Update(QueryId id, WorkUnits cost,
   double w;
   Detach(id, &v, &w);
   InsertNodeAt(id, x_ + cost / weight, weight);
+  ++structure_version_;
   return Status::OK();
 }
 
@@ -228,6 +232,9 @@ void IncrementalForecast::Renormalize() {
   root_ = -1;
   x_ = 0.0;
   for (const Saved& s : saved) InsertNodeAt(s.id, s.v, s.w);
+  // The threshold basis moved: flat mirrors of the absolute v's are
+  // stale even though the modelled load is unchanged.
+  ++structure_version_;
 }
 
 double IncrementalForecast::total_weight() const {
@@ -336,6 +343,27 @@ Result<SimTime> IncrementalForecast::RemovalBenefit(QueryId target,
     return std::max(0.0, (m.v - x_) * m.w) / rate;
   }
   return std::max(0.0, (t.v - x_)) * m.w / rate;
+}
+
+void IncrementalForecast::ExportSorted(QueryId* ids, double* v,
+                                       double* w) const {
+  std::size_t out = 0;
+  std::vector<int> stack;
+  int cur = root_;
+  while (cur >= 0 || !stack.empty()) {
+    while (cur >= 0) {
+      stack.push_back(cur);
+      cur = nodes_[static_cast<std::size_t>(cur)].left;
+    }
+    cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<std::size_t>(cur)];
+    if (ids != nullptr) ids[out] = n.id;
+    if (v != nullptr) v[out] = n.v;
+    if (w != nullptr) w[out] = n.w;
+    ++out;
+    cur = n.right;
+  }
 }
 
 std::vector<QueryLoad> IncrementalForecast::Entries() const {

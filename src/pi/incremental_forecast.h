@@ -112,6 +112,23 @@ class IncrementalForecast {
   /// id), with current clamped costs. O(n).
   std::vector<QueryLoad> Entries() const;
 
+  /// Flat export of the active set in key order (ascending (v, id) —
+  /// the finish order), writing `size()` entries into caller-provided
+  /// arrays. `ids`/`v`/`w` may individually be null to skip that
+  /// column. O(n), no allocation. This is the batch kernel's
+  /// structure-of-arrays regeneration feed: `v` values are absolute
+  /// thresholds, valid against offset() until the next structure
+  /// version bump.
+  void ExportSorted(QueryId* ids, double* v, double* w) const;
+
+  /// Monotonic structure version: bumped by every mutation that
+  /// changes membership, thresholds, weights, or the threshold basis
+  /// (Insert/Remove/Update/Clear and the internal renormalization).
+  /// Advance alone — pure progress — never bumps it, so a flat mirror
+  /// keyed on this version stays valid across progress-only quanta
+  /// and only the O(1) offset moves.
+  std::uint64_t structure_version() const { return structure_version_; }
+
   /// The current virtual-time offset (diagnostics/tests).
   double offset() const { return x_; }
 
@@ -159,6 +176,7 @@ class IncrementalForecast {
   std::unordered_map<QueryId, int> slot_;
   int root_ = -1;
   double x_ = 0.0;
+  std::uint64_t structure_version_ = 0;
 };
 
 }  // namespace mqpi::pi

@@ -465,6 +465,23 @@ Result<SimTime> MultiQueryPi::EstimateRemainingTime(
   return SanitizeEta(*eta);
 }
 
+Result<MultiQueryPi::BatchEstimates> MultiQueryPi::EstimateAllRunning()
+    const {
+  if (!FastPathReady()) {
+    return Status::FailedPrecondition(
+        "incremental fast path not ready; estimate per row");
+  }
+  const BatchEstimateKernel::Batch batch =
+      kernel_.EstimateAll(engine_, estimated_rate());
+  // Every row is an engine-served estimate, same as n fast-path point
+  // queries would have been. No per-row SanitizeEta pass: the sweep
+  // clamps at zero and its inputs are finite (the engine validates
+  // cost/weight, estimated_rate() is floored), so sanitization would
+  // be a no-op on every row.
+  incremental_fast_path_ += batch.size;
+  return BatchEstimates{batch.ids, batch.etas, batch.size};
+}
+
 Result<SimTime> MultiQueryPi::QuiescentEta() const {
   if (FastPathReady()) {
     ++incremental_fast_path_;

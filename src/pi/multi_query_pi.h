@@ -34,6 +34,7 @@
 #include "common/stats.h"
 #include "common/units.h"
 #include "pi/analytic_simulator.h"
+#include "pi/batch_kernel.h"
 #include "pi/future_model.h"
 #include "pi/incremental_forecast.h"
 #include "sched/rdbms.h"
@@ -128,6 +129,23 @@ class MultiQueryPi {
   /// finishes; Section 3.3). O(1) on the fast path.
   Result<SimTime> QuiescentEta() const;
 
+  /// Batch estimate: the remaining time of EVERY running query in one
+  /// O(n) flat-SoA sweep (batch_kernel.h) instead of n O(log n) treap
+  /// probes — the snapshot builder's per-quantum hot path. Available
+  /// only when the incremental fast path is up (same preconditions as
+  /// EstimateRemainingTime's engine route; FailedPrecondition
+  /// otherwise, and the caller falls back to per-row estimates). The
+  /// returned views are sorted by ascending id and remain valid until
+  /// the next PI call — consume them under the same external lock.
+  /// Counted per call in batch_kernel_hits()/batch_kernel_regens()
+  /// and per row in incremental_fast_path().
+  struct BatchEstimates {
+    const QueryId* ids = nullptr;
+    const SimTime* etas = nullptr;
+    std::size_t size = 0;
+  };
+  Result<BatchEstimates> EstimateAllRunning() const;
+
   /// Full forecast for all running + queued queries.
   Result<ForecastResult> ForecastAll() const;
 
@@ -191,6 +209,13 @@ class MultiQueryPi {
   std::uint64_t incremental_resyncs() const {
     return incremental_resyncs_;
   }
+
+  /// Batch-kernel statistics: estimate-all sweeps served from a
+  /// current SoA mirror (progress-only quanta),
+  std::uint64_t batch_kernel_hits() const { return kernel_.hits(); }
+  /// and mirror regenerations (structural epochs). In the steady
+  /// state hits grow once per snapshot and regens not at all.
+  std::uint64_t batch_kernel_regens() const { return kernel_.regens(); }
 
   /// Attaches a chaos harness (nullptr detaches; not owned). Armed
   /// `pi.*` points fire inside ObserveStep: forced cache invalidation
@@ -297,6 +322,10 @@ class MultiQueryPi {
   // the next ObserveStep's rebuild). Mutable: estimates are logically
   // const reads; same external-synchronization contract as the cache.
   mutable IncrementalForecast engine_;
+  // Flat SoA mirror of engine_ for estimate-all sweeps; keyed on the
+  // engine's structure_version, regenerated lazily inside
+  // EstimateAllRunning. Same synchronization contract as the engine.
+  mutable BatchEstimateKernel kernel_;
   bool engine_synced_ = false;
   std::uint64_t engine_structural_epoch_ = 0;
   std::uint64_t engine_load_epoch_ = 0;

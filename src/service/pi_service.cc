@@ -112,6 +112,8 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   incremental_fast_path_ = metrics_.counter("pi.incremental_fast_path");
   incremental_fallback_ = metrics_.counter("pi.incremental_fallback");
   incremental_resyncs_ = metrics_.counter("pi.incremental_resyncs");
+  batch_kernel_hits_ = metrics_.counter("pi.batch_kernel_hits");
+  batch_kernel_regens_ = metrics_.counter("pi.batch_kernel_regens");
   stale_snapshots_ = metrics_.counter("service.stale_snapshots");
   watchdog_restarts_ = metrics_.counter("service.watchdog_restarts");
   submits_shed_ = metrics_.counter("service.submits_shed");
@@ -491,11 +493,20 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
     }
   }
 
-  // Per-row estimates ride the PI's incremental fast path when it is
-  // up (an O(log n) closed-form point query per row, zero simulations
-  // in the steady state); the PI falls back to its cached analytic
-  // forecast otherwise, so a snapshot still costs at most one
+  // Running-query estimates come from ONE batch call when the PI's
+  // incremental fast path is up: an O(n) flat-SoA sweep over all n
+  // rows (batch_kernel.h) instead of n O(log n) treap probes. The
+  // batch views are id-sorted, so the info loop below — also ascending
+  // by id — consumes them as an O(n) merge-join with no hashing. When
+  // the fast path is down the per-row calls fall back to the cached
+  // analytic forecast, so a snapshot still costs at most one
   // simulation per epoch either way.
+  pi::MultiQueryPi::BatchEstimates batch;
+  {
+    auto batched = pis_->multi()->EstimateAllRunning();
+    if (batched.ok()) batch = *batched;
+  }
+  std::size_t batch_cursor = 0;
   snapshot->quiescent_eta =
       pis_->multi()->QuiescentEta().value_or(kUnknown);
 
@@ -566,11 +577,20 @@ std::shared_ptr<ProgressSnapshot> PiService::BuildSnapshotLocked() const {
         query.eta_single =
             guard(&query, pis_->EstimateSingle(info.id).value_or(kUnknown),
                   &good.single);
-        query.eta_multi =
-            guard(&query,
-                  pis_->multi()->EstimateRemainingTime(info).value_or(
-                      kUnknown),
-                  &good.multi);
+        // Merge-join against the batch view: both this loop and
+        // batch.ids ascend by id, and only running rows appear in the
+        // batch, so queued rows simply never match the cursor.
+        while (batch_cursor < batch.size && batch.ids[batch_cursor] < info.id) {
+          ++batch_cursor;
+        }
+        SimTime multi_raw;
+        if (batch_cursor < batch.size && batch.ids[batch_cursor] == info.id) {
+          multi_raw = batch.etas[batch_cursor];
+        } else {
+          multi_raw =
+              pis_->multi()->EstimateRemainingTime(info).value_or(kUnknown);
+        }
+        query.eta_multi = guard(&query, multi_raw, &good.multi);
         break;
       }
     }
@@ -662,6 +682,10 @@ void PiService::RecordForecastCacheMetricsLocked() {
        &seen_incremental_fallback_);
   sync(incremental_resyncs_, pis_->multi()->incremental_resyncs(),
        &seen_incremental_resyncs_);
+  sync(batch_kernel_hits_, pis_->multi()->batch_kernel_hits(),
+       &seen_batch_kernel_hits_);
+  sync(batch_kernel_regens_, pis_->multi()->batch_kernel_regens(),
+       &seen_batch_kernel_regens_);
 }
 
 void PiService::RecordDegradationMetricsLocked() {

@@ -1,0 +1,315 @@
+// Three-way differential suite for the flat SoA batch-estimate kernel
+// (pi/batch_kernel.h): analytic simulator vs. incremental treap vs.
+// batch kernel over the same load, across chaos soak regimes and the
+// degenerate shapes that stress the mirror (empty, singleton, zero
+// cost, exact threshold ties, post-renormalize). Every test in the
+// suite runs twice — once under CPU-feature SIMD dispatch and once
+// pinned to the portable scalar sweep — so the vector paths are held
+// to the same tolerance as the reference implementation.
+//
+// Tolerances mirror incremental_forecast_test.cc: treap vs. kernel is
+// the engine contract (a few ULP, 1e-9 scaled-relative); simulator
+// vs. kernel layers event-replay rounding on top (1e-6).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "pi/analytic_simulator.h"
+#include "pi/batch_kernel.h"
+#include "pi/incremental_forecast.h"
+#include "pi/stage_profile.h"
+
+namespace mqpi::pi {
+namespace {
+
+constexpr double kEngineRelTol = 1e-9;
+constexpr double kSimulatorRelTol = 1e-6;
+
+void ExpectClose(double expected, double actual, const char* what,
+                 double tol) {
+  if (expected == kInfiniteTime || actual == kInfiniteTime) {
+    EXPECT_EQ(expected, actual) << what;
+    return;
+  }
+  EXPECT_NEAR(expected, actual, tol * std::max(1.0, std::fabs(expected)))
+      << what;
+}
+
+// Runs one EstimateAll and pins it three ways:
+//  * shape: id-sorted, one row per live query;
+//  * vs. treap: every row equals the O(log n) point query;
+//  * vs. simulator: every row equals a from-scratch event replay of
+//    the current clamped load (no arrivals, so forecast finish times
+//    are remaining times).
+void ExpectThreeWayMatch(BatchEstimateKernel& kernel,
+                         const IncrementalForecast& engine, double rate,
+                         const char* where) {
+  SCOPED_TRACE(where);
+  const BatchEstimateKernel::Batch batch = kernel.EstimateAll(engine, rate);
+  ASSERT_EQ(batch.size, engine.size());
+  const std::vector<QueryLoad> loads = engine.Entries();
+
+  AnalyticModelOptions model;
+  model.rate = rate;
+  model.horizon = kInfiniteTime;
+  auto simulated = AnalyticSimulator::Forecast(loads, {}, {}, model);
+  ASSERT_TRUE(simulated.ok());
+
+  for (std::size_t i = 0; i < batch.size; ++i) {
+    if (i > 0) {
+      EXPECT_LT(batch.ids[i - 1], batch.ids[i]) << "ids not ascending";
+    }
+    auto treap = engine.RemainingTime(batch.ids[i], rate);
+    ASSERT_TRUE(treap.ok()) << "id " << batch.ids[i];
+    ExpectClose(*treap, batch.etas[i], "treap vs kernel", kEngineRelTol);
+    auto sim = simulated->FinishTimeOf(batch.ids[i]);
+    ASSERT_TRUE(sim.ok()) << "id " << batch.ids[i];
+    ExpectClose(*sim, batch.etas[i], "simulator vs kernel",
+                kSimulatorRelTol);
+  }
+}
+
+// Each test runs with SIMD dispatch (param false) and pinned scalar
+// (param true).
+class BatchKernelTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override { BatchEstimateKernel::ForceScalar(GetParam()); }
+  void TearDown() override { BatchEstimateKernel::ForceScalar(false); }
+};
+
+TEST_P(BatchKernelTest, ForceScalarPinsDispatch) {
+  if (GetParam()) {
+    EXPECT_STREQ(BatchEstimateKernel::ActiveIsaName(), "scalar");
+  } else {
+    // Whatever the CPU offers; the differential tests below hold it to
+    // the same numbers either way.
+    SUCCEED() << BatchEstimateKernel::ActiveIsaName();
+  }
+}
+
+TEST_P(BatchKernelTest, EmptyEngine) {
+  IncrementalForecast engine;
+  BatchEstimateKernel kernel;
+  const auto batch = kernel.EstimateAll(engine, 100.0);
+  EXPECT_EQ(batch.size, 0u);
+  ExpectThreeWayMatch(kernel, engine, 100.0, "empty");
+}
+
+TEST_P(BatchKernelTest, SingleQuery) {
+  IncrementalForecast engine;
+  ASSERT_TRUE(engine.Insert(7, 300.0, 1.5).ok());
+  BatchEstimateKernel kernel;
+  ExpectThreeWayMatch(kernel, engine, 100.0, "singleton");
+  const auto batch = kernel.EstimateAll(engine, 100.0);
+  ASSERT_EQ(batch.size, 1u);
+  EXPECT_EQ(batch.ids[0], 7u);
+  EXPECT_NEAR(batch.etas[0], 3.0, 1e-12);  // alone: 300 U at the full rate
+}
+
+TEST_P(BatchKernelTest, ZeroCostQueries) {
+  IncrementalForecast engine;
+  ASSERT_TRUE(engine.Insert(1, 0.0, 1.0).ok());
+  ASSERT_TRUE(engine.Insert(2, 100.0, 1.0).ok());
+  ASSERT_TRUE(engine.Insert(3, 0.0, 4.0).ok());
+  BatchEstimateKernel kernel;
+  ExpectThreeWayMatch(kernel, engine, 50.0, "zero-cost mix");
+  const auto batch = kernel.EstimateAll(engine, 50.0);
+  ASSERT_EQ(batch.size, 3u);
+  EXPECT_EQ(batch.etas[0], 0.0);  // id 1
+  EXPECT_EQ(batch.etas[2], 0.0);  // id 3
+  EXPECT_GT(batch.etas[1], 0.0);  // id 2 still has work
+}
+
+TEST_P(BatchKernelTest, ExactThresholdTies) {
+  // Four queries with identical v = c/w land on the same threshold;
+  // the (v, id) tie-break must produce one well-defined prefix order
+  // shared by profile, treap, and kernel.
+  IncrementalForecast engine;
+  ASSERT_TRUE(engine.Insert(4, 200.0, 2.0).ok());
+  ASSERT_TRUE(engine.Insert(2, 100.0, 1.0).ok());
+  ASSERT_TRUE(engine.Insert(9, 400.0, 4.0).ok());
+  ASSERT_TRUE(engine.Insert(5, 100.0, 1.0).ok());
+  BatchEstimateKernel kernel;
+  ExpectThreeWayMatch(kernel, engine, 100.0, "exact ties");
+  // Equal-threshold queries all retire at the same instant.
+  const auto batch = kernel.EstimateAll(engine, 100.0);
+  ASSERT_EQ(batch.size, 4u);
+  for (std::size_t i = 1; i < batch.size; ++i) {
+    EXPECT_NEAR(batch.etas[0], batch.etas[i], 1e-9);
+  }
+}
+
+TEST_P(BatchKernelTest, SurvivesRenormalization) {
+  IncrementalForecast engine;
+  BatchEstimateKernel kernel;
+  ASSERT_TRUE(engine.Insert(1, 5e6, 1.0).ok());
+  ASSERT_TRUE(engine.Insert(2, 9e6, 2.0).ok());
+  ExpectThreeWayMatch(kernel, engine, 1000.0, "before renorm");
+  const std::uint64_t regens_before = kernel.regens();
+  // Drive X past the renormalization threshold (but below the smallest
+  // live threshold). The rebase rewrites every absolute v, so the
+  // mirror must regenerate — a stale mirror would answer from the old
+  // basis with the new offset and be wildly wrong.
+  engine.Advance(2e6);
+  ExpectThreeWayMatch(kernel, engine, 1000.0, "after renorm");
+  EXPECT_EQ(kernel.regens(), regens_before + 1);
+}
+
+TEST_P(BatchKernelTest, HitsAndRegensAccounting) {
+  IncrementalForecast engine;
+  ASSERT_TRUE(engine.Insert(1, 100.0, 1.0).ok());
+  ASSERT_TRUE(engine.Insert(2, 300.0, 1.0).ok());
+  BatchEstimateKernel kernel;
+  EXPECT_EQ(kernel.hits(), 0u);
+  EXPECT_EQ(kernel.regens(), 0u);
+
+  kernel.EstimateAll(engine, 100.0);  // first call always regenerates
+  EXPECT_EQ(kernel.regens(), 1u);
+  EXPECT_EQ(kernel.hits(), 0u);
+
+  kernel.EstimateAll(engine, 100.0);  // unchanged structure: pure sweep
+  kernel.EstimateAll(engine, 50.0);   // rate is a per-call scalar
+  EXPECT_EQ(kernel.regens(), 1u);
+  EXPECT_EQ(kernel.hits(), 2u);
+
+  engine.Advance(10.0);               // progress only: mirror stays hot
+  kernel.EstimateAll(engine, 100.0);
+  EXPECT_EQ(kernel.regens(), 1u);
+  EXPECT_EQ(kernel.hits(), 3u);
+
+  ASSERT_TRUE(engine.Insert(3, 50.0, 2.0).ok());  // structural: regen
+  kernel.EstimateAll(engine, 100.0);
+  EXPECT_EQ(kernel.regens(), 2u);
+  EXPECT_EQ(kernel.hits(), 3u);
+
+  ASSERT_TRUE(engine.Remove(1).ok());
+  ASSERT_TRUE(engine.Update(2, 250.0, 3.0).ok());
+  kernel.EstimateAll(engine, 100.0);  // both bumps fold into one regen
+  EXPECT_EQ(kernel.regens(), 3u);
+  EXPECT_EQ(kernel.hits(), 3u);
+}
+
+TEST_P(BatchKernelTest, SharedKernelAcrossEngines) {
+  // One kernel re-targeted at a different engine must notice even when
+  // the version counters happen to collide — via size or content. The
+  // version counter alone distinguishes engines with different op
+  // counts; this pins the supported single-engine contract instead:
+  // interleaving two engines through two kernels stays exact.
+  IncrementalForecast a, b;
+  ASSERT_TRUE(a.Insert(1, 100.0, 1.0).ok());
+  ASSERT_TRUE(b.Insert(2, 900.0, 3.0).ok());
+  BatchEstimateKernel ka, kb;
+  ExpectThreeWayMatch(ka, a, 100.0, "engine a");
+  ExpectThreeWayMatch(kb, b, 100.0, "engine b");
+  ASSERT_TRUE(a.Insert(3, 40.0, 0.5).ok());
+  ExpectThreeWayMatch(ka, a, 100.0, "engine a after growth");
+  ExpectThreeWayMatch(kb, b, 100.0, "engine b unchanged");
+}
+
+// ---- chaos soak regimes -----------------------------------------------------
+
+struct SoakRegime {
+  const char* name;
+  // Weights for op classes: insert, remove, update, advance.
+  int insert, remove, update, advance;
+  int ops;
+  std::uint64_t seed;
+};
+
+class BatchKernelSoakTest
+    : public ::testing::TestWithParam<std::tuple<bool, int>> {
+ protected:
+  void SetUp() override {
+    BatchEstimateKernel::ForceScalar(std::get<0>(GetParam()));
+  }
+  void TearDown() override { BatchEstimateKernel::ForceScalar(false); }
+};
+
+const SoakRegime kRegimes[] = {
+    {"mixed-churn", 3, 2, 2, 3, 320, 101},
+    {"insert-heavy-growth", 6, 1, 1, 2, 320, 202},
+    {"remove-heavy-drain", 1, 5, 1, 3, 320, 303},
+    {"progress-dominated", 1, 1, 1, 12, 320, 404},
+    {"reweight-storm", 1, 1, 8, 2, 320, 505},
+};
+
+TEST_P(BatchKernelSoakTest, RandomOpsStayExact) {
+  const SoakRegime& regime = kRegimes[std::get<1>(GetParam())];
+  SCOPED_TRACE(regime.name);
+  Rng rng(regime.seed);
+  IncrementalForecast engine;
+  BatchEstimateKernel kernel;
+  std::map<QueryId, double> live;  // id -> weight (shadow membership)
+  QueryId next_id = 1;
+
+  const int total_weight =
+      regime.insert + regime.remove + regime.update + regime.advance;
+  for (int op = 0; op < regime.ops; ++op) {
+    int pick = static_cast<int>(rng.UniformInt(0, total_weight - 1));
+    if (pick < regime.insert || live.empty()) {
+      const double cost = rng.Uniform(0.0, 2000.0);
+      const double weight = rng.Uniform(0.25, 8.0);
+      ASSERT_TRUE(engine.Insert(next_id, cost, weight).ok());
+      live[next_id] = weight;
+      ++next_id;
+    } else if ((pick -= regime.insert) < regime.remove) {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int>(live.size()) - 1));
+      ASSERT_TRUE(engine.Remove(it->first).ok());
+      live.erase(it);
+    } else if ((pick -= regime.remove) < regime.update) {
+      auto it = live.begin();
+      std::advance(it, rng.UniformInt(0, static_cast<int>(live.size()) - 1));
+      const double cost = rng.Uniform(0.0, 2000.0);
+      const double weight = rng.Uniform(0.25, 8.0);
+      ASSERT_TRUE(engine.Update(it->first, cost, weight).ok());
+      it->second = weight;
+    } else {
+      // Advance strictly below the smallest live remaining ratio so no
+      // live query crosses its threshold (the engine contract).
+      double min_ratio = kInfiniteTime;
+      for (const auto& [id, weight] : live) {
+        auto c = engine.CostOf(id);
+        ASSERT_TRUE(c.ok());
+        min_ratio = std::min(min_ratio, *c / weight);
+      }
+      if (min_ratio > 0.0 && min_ratio != kInfiniteTime) {
+        engine.Advance(rng.Uniform(0.0, 0.9) * min_ratio);
+      }
+    }
+    // Differential check after every single operation, at a rate that
+    // itself varies so the per-call scalar path is exercised too.
+    const double rate = rng.Uniform(10.0, 500.0);
+    ExpectThreeWayMatch(kernel, engine, rate,
+                        ("op " + std::to_string(op)).c_str());
+  }
+  // Every call was either a hit or a regen — nothing silently skipped.
+  EXPECT_EQ(kernel.hits() + kernel.regens(),
+            static_cast<std::uint64_t>(regime.ops));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, BatchKernelSoakTest,
+    ::testing::Combine(::testing::Bool(),
+                       ::testing::Range(0, static_cast<int>(std::size(
+                                               kRegimes)))),
+    [](const ::testing::TestParamInfo<std::tuple<bool, int>>& info) {
+      std::string name = kRegimes[std::get<1>(info.param)].name;
+      std::replace(name.begin(), name.end(), '-', '_');
+      return name + (std::get<0>(info.param) ? "_scalar" : "_simd");
+    });
+
+INSTANTIATE_TEST_SUITE_P(Dispatch, BatchKernelTest, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "scalar" : "simd";
+                         });
+
+}  // namespace
+}  // namespace mqpi::pi

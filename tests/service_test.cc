@@ -287,6 +287,15 @@ TEST(ServiceManualTest, ForecastCacheCountersPublished) {
   EXPECT_NE(dump.find("pi.incremental_fast_path"), std::string::npos);
   EXPECT_NE(dump.find("pi.incremental_fallback"), std::string::npos);
   EXPECT_NE(dump.find("pi.incremental_resyncs"), std::string::npos);
+  // Snapshots consume the batch kernel once the fast path is up: every
+  // call is either a mirror hit or a regen, and steady-state quanta
+  // must produce hits (progress alone never invalidates the mirror).
+  const auto batch_hits =
+      service.metrics()->counter("pi.batch_kernel_hits")->value();
+  const auto batch_regens =
+      service.metrics()->counter("pi.batch_kernel_regens")->value();
+  EXPECT_GT(batch_hits + batch_regens, 0u);
+  EXPECT_GT(batch_hits, 0u);
   EXPECT_TRUE(session->Close().ok());
 }
 

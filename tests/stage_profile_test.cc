@@ -294,6 +294,36 @@ TEST(AnalyticSimulatorTest, OverloadHitsEventCap) {
   SUCCEED();
 }
 
+TEST(AnalyticSimulatorTest, FinishJustPastHorizonReportsInfinite) {
+  // Regression: the horizon check used to run only at the top of the
+  // *next* loop iteration, so the first finish past the horizon was
+  // recorded with its real beyond-horizon time. Q1 (100 U) and Q2
+  // (300 U) share C=100: Q1 finishes at t=2, Q2 at t=4. A horizon of
+  // 3 must report Q2 as unbounded, not 4.0.
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  model.horizon = 3.0;
+  auto forecast = AnalyticSimulator::Forecast(
+      {{1, 100.0, 1.0}, {2, 300.0, 1.0}}, {}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(*forecast->FinishTimeOf(1), 2.0, 1e-9);
+  EXPECT_EQ(*forecast->FinishTimeOf(2), kInfiniteTime);
+  EXPECT_EQ(forecast->quiescent_time(), kInfiniteTime);
+}
+
+TEST(AnalyticSimulatorTest, FinishExactlyAtHorizonStillCounts) {
+  // The horizon clamp is strict (> horizon): a finish landing exactly
+  // on the horizon is committed with its real time.
+  AnalyticModelOptions model;
+  model.rate = 100.0;
+  model.horizon = 4.0;
+  auto forecast = AnalyticSimulator::Forecast(
+      {{1, 100.0, 1.0}, {2, 300.0, 1.0}}, {}, {}, model);
+  ASSERT_TRUE(forecast.ok());
+  EXPECT_NEAR(*forecast->FinishTimeOf(2), 4.0, 1e-9);
+  EXPECT_NEAR(forecast->quiescent_time(), 4.0, 1e-9);
+}
+
 TEST(AnalyticSimulatorTest, EmptySystem) {
   auto forecast = AnalyticSimulator::Forecast({}, {}, {}, {});
   ASSERT_TRUE(forecast.ok());

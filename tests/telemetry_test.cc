@@ -366,6 +366,38 @@ TEST_F(TelemetryServerTest, BadRequestsGetHttpErrors) {
   EXPECT_GE(server_->http()->requests_error(), 3u);
 }
 
+TEST_F(TelemetryServerTest, EpollAddFailureDoesNotLeakConnectionSlots) {
+  // Regression: AcceptPending used to ignore the epoll_ctl(ADD) return
+  // and track the fd anyway. An fd that never reaches the epoll never
+  // becomes readable, so it was never closed and permanently counted
+  // toward max_connections — 64 such failures starved /metrics forever.
+  // Inject exactly max_connections' worth of registration failures; if
+  // any of those fds leaked into the scrape map, the follow-up scrape
+  // below would be refused at the cap.
+  constexpr int kMaxConnections = 64;  // HttpExporter::Options default
+  const std::uint64_t errors_before = server_->http()->requests_error();
+  server_->http()->InjectEpollAddFailuresForTest(kMaxConnections);
+  for (int i = 0; i < kMaxConnections; ++i) {
+    // Each refused connection is closed by the server without a
+    // response; the client just sees EOF.
+    const std::string refused =
+        HttpGet(server_->http_port(), "GET /metrics HTTP/1.1");
+    EXPECT_EQ(refused, "");
+  }
+  // The tally is incremented on the loop thread just before the close
+  // whose EOF the client observed; give the relaxed counter a moment.
+  const std::uint64_t want = errors_before + kMaxConnections;
+  for (int spin = 0; spin < 200 && server_->http()->requests_error() < want;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server_->http()->requests_error(), want);
+
+  const std::string response =
+      HttpGet(server_->http_port(), "GET /metrics HTTP/1.1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+}
+
 TEST_F(TelemetryServerTest, StatsRoundTripWithConnectionOverlay) {
   auto connected = Client::Connect("127.0.0.1", server_->port());
   ASSERT_TRUE(connected.ok());

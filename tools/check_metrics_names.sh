@@ -57,6 +57,8 @@ pi.forecast_cache_miss
 pi.incremental_fast_path
 pi.incremental_fallback
 pi.incremental_resyncs
+pi.batch_kernel_hits
+pi.batch_kernel_regens
 "
 for name in $required_counters; do
   if ! grep -q "^counter $name\$" "$names_file"; then
