@@ -1,4 +1,5 @@
-// pi_server: serve live multi-query progress over TCP.
+// pi_server: serve live multi-query progress over TCP — and survive
+// death.
 //
 // Starts a PiService in ticker mode (1 simulated second per wall
 // second), binds a net::PiServer on the requested port, and keeps a
@@ -15,31 +16,53 @@
 // /statusz, so `curl http://127.0.0.1:<http_port>/metrics` works
 // while the binary protocol serves dashboards.
 //
-// Usage: pi_server [port] [seconds] [http_port]
-//   port       TCP port to listen on (default 7654)
-//   seconds    how long to serve before shutting down (default 60)
-//   http_port  HTTP telemetry port (default 7655; -1 disables,
-//              0 picks an ephemeral port)
+// Durability (optional 4th argument): with a journal directory the
+// service runs on a recover::DurableLog — every lifecycle event is
+// journaled, a checkpoint is cut every few seconds, and a kill -9
+// mid-run recovers on the next start (same directory) to the exact
+// pre-crash state. SIGTERM/SIGINT trigger the graceful path instead:
+// admissions close (kUnavailable), the journal is flushed and a final
+// checkpoint cut, subscribers get a goodbye frame, then the ticker
+// stops.
+//
+// Usage: pi_server [port] [seconds] [http_port] [journal_dir]
+//   port        TCP port to listen on (default 7654)
+//   seconds     how long to serve before shutting down (default 60)
+//   http_port   HTTP telemetry port (default 7655; -1 disables,
+//               0 picks an ephemeral port)
+//   journal_dir durable checkpoint/journal directory (default: none —
+//               run ephemeral)
 
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <thread>
 
 #include "common/random.h"
 #include "engine/planner.h"
 #include "net/server.h"
+#include "recover/recovery.h"
 #include "service/pi_service.h"
 #include "service/session.h"
 #include "storage/catalog.h"
 
 using namespace mqpi;
 
+namespace {
+// async-signal-safe flag; the main loop polls it once a second.
+volatile std::sig_atomic_t g_shutdown = 0;
+void OnSignal(int) { g_shutdown = 1; }
+}  // namespace
+
 int main(int argc, char** argv) {
   const auto port = static_cast<std::uint16_t>(
       argc > 1 ? std::atoi(argv[1]) : 7654);
   const int seconds = argc > 2 ? std::atoi(argv[2]) : 60;
   const int http_port = argc > 3 ? std::atoi(argv[3]) : 7655;
+  const std::string journal_dir = argc > 4 ? argv[4] : "";
 
   storage::Catalog catalog;
   service::PiServiceOptions options;
@@ -49,12 +72,42 @@ int main(int argc, char** argv) {
   // The demo serves its own telemetry: the per-site cost breakdown on
   // /statusz is empty without the profiler armed.
   options.enable_profiler = true;
-  service::PiService service(&catalog, options);
+
+  // With a journal dir the service is recovered from (or freshly
+  // anchored in) the durable log; without one it runs ephemeral.
+  std::unique_ptr<recover::RecoveredService> recovered;
+  std::unique_ptr<service::PiService> ephemeral;
+  service::PiService* service = nullptr;
+  recover::DurableLog* log = nullptr;
+  if (!journal_dir.empty()) {
+    auto result = recover::Recover(&catalog, journal_dir, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "recovery from %s failed: %s\n",
+                   journal_dir.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    recovered = std::make_unique<recover::RecoveredService>(
+        std::move(*result));
+    service = recovered->service.get();
+    log = recovered->log.get();
+    std::printf("recovered from %s: %llu events replayed%s%s\n",
+                journal_dir.c_str(),
+                static_cast<unsigned long long>(recovered->events_replayed),
+                recovered->had_checkpoint
+                    ? (recovered->verified ? ", checkpoint verified"
+                                           : ", checkpoint UNVERIFIED")
+                    : ", no checkpoint",
+                recovered->tail_truncated ? ", torn tail truncated" : "");
+  } else {
+    ephemeral = std::make_unique<service::PiService>(&catalog, options);
+    service = ephemeral.get();
+  }
 
   net::PiServerOptions server_options;
   server_options.port = port;
   server_options.http_port = http_port;
-  net::PiServer server(&service, server_options);
+  net::PiServer server(service, server_options);
   const Status started = server.Start();
   if (!started.ok()) {
     std::fprintf(stderr, "cannot start server: %s\n",
@@ -71,25 +124,32 @@ int main(int argc, char** argv) {
                 server.http_port());
   }
 
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
   // The workload: a starting batch plus Poisson arrivals, query sizes
-  // Zipf-skewed like the paper's evaluation mix.
-  auto session = service.OpenSession("pi-server-workload");
-  Rng rng(20060326);
-  ZipfSampler sizes(50, 1.2);
-  for (int i = 0; i < 4; ++i) {
-    (void)session->Submit(
-        engine::QuerySpec::Synthetic(50.0 * sizes.Sample(&rng)));
-  }
-  PoissonProcess arrivals(0.5);
-  while (arrivals.current_time() < static_cast<double>(seconds)) {
-    const double at = arrivals.NextArrival(&rng);
-    (void)session->SubmitAt(
-        at, engine::QuerySpec::Synthetic(50.0 * sizes.Sample(&rng)));
+  // Zipf-skewed like the paper's evaluation mix. A recovered run
+  // already carries its replayed workload — top it up only when fresh.
+  auto session = service->OpenSession("pi-server-workload");
+  if (recovered == nullptr || recovered->events_replayed == 0) {
+    Rng rng(20060326);
+    ZipfSampler sizes(50, 1.2);
+    for (int i = 0; i < 4; ++i) {
+      (void)session->Submit(
+          engine::QuerySpec::Synthetic(50.0 * sizes.Sample(&rng)));
+    }
+    PoissonProcess arrivals(0.5);
+    while (arrivals.current_time() < static_cast<double>(seconds)) {
+      const double at = arrivals.NextArrival(&rng);
+      (void)session->SubmitAt(
+          at, engine::QuerySpec::Synthetic(50.0 * sizes.Sample(&rng)));
+    }
   }
 
-  for (int elapsed = 0; elapsed < seconds; ++elapsed) {
+  constexpr int kCheckpointEverySeconds = 5;
+  for (int elapsed = 0; elapsed < seconds && g_shutdown == 0; ++elapsed) {
     std::this_thread::sleep_for(std::chrono::seconds(1));
-    const auto snap = service.snapshot();
+    const auto snap = service->snapshot();
     std::printf("t=%5.0fs  running %d  queued %d  connections %.0f  "
                 "subscriptions %.0f  frames sent %llu\n",
                 snap->sim_time, snap->num_running, snap->num_queued,
@@ -97,11 +157,38 @@ int main(int argc, char** argv) {
                 server.metrics()->subscriptions->value(),
                 static_cast<unsigned long long>(
                     server.metrics()->frames_sent->value()));
+    if (log != nullptr && (elapsed + 1) % kCheckpointEverySeconds == 0) {
+      const Status cut = recover::Checkpoint(service, log);
+      if (!cut.ok()) {
+        std::fprintf(stderr, "checkpoint failed: %s\n",
+                     cut.ToString().c_str());
+      }
+    }
   }
 
-  std::printf("shutting down\n");
+  // Graceful drain, whether by SIGTERM or by running out the clock:
+  // close admissions, flush + final checkpoint, goodbye subscribers,
+  // stop the ticker.
+  std::printf(g_shutdown != 0 ? "signal received, draining\n"
+                              : "time up, draining\n");
+  service::PiService::DrainHooks hooks;
+  hooks.flush = [&] {
+    if (log == nullptr) return;
+    log->Sync();
+    const Status cut = recover::Checkpoint(service, log);
+    if (!cut.ok()) {
+      std::fprintf(stderr, "final checkpoint failed: %s\n",
+                   cut.ToString().c_str());
+    }
+  };
+  hooks.goodbye = [&] { (void)server.Drain(); };
+  const Status drained = service->Drain(hooks);
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", drained.ToString().c_str());
+  }
   server.Stop();
   session->Close();
-  service.Stop();
+  session.reset();
+  recovered.reset();  // sessions, then service, then the log
   return 0;
 }

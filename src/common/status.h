@@ -23,6 +23,7 @@ enum class StatusCode : int {
   kUnimplemented = 7,
   kInternal = 8,
   kResourceExhausted = 9,
+  kUnavailable = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -62,6 +63,9 @@ class Status {
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -73,6 +77,7 @@ class Status {
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
   }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// Message text; empty for OK.
   const std::string& message() const {

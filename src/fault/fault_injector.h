@@ -90,6 +90,18 @@ inline constexpr const char* kNetSlowConsumer = "net.slow_consumer";
 /// Fan-out / server: one live connection or subscription is dropped
 /// outright.
 inline constexpr const char* kNetConnDrop = "net.conn_drop";
+/// net::ResilientClient: the next connect attempt fails before the
+/// socket is even tried (exercises backoff + retry scheduling).
+inline constexpr const char* kNetClientConnectFail = "net.client.connect_fail";
+/// recover::DurableLog: the next journal append is dropped on the
+/// floor, poisoning the active segment until the next checkpoint.
+inline constexpr const char* kRecoverJournalWriteFail =
+    "recover.journal_write_fail";
+/// recover::DurableLog: the checkpoint image being written has one
+/// byte flipped before publication — recovery must fall back to the
+/// previous checkpoint.
+inline constexpr const char* kRecoverCheckpointCorrupt =
+    "recover.checkpoint_corrupt";
 /// MultiQueryPi: drop the memoized forecast and base-load snapshot
 /// (correctness no-op by construction; costs a recomputation).
 inline constexpr const char* kPiCacheInvalidate = "pi.cache_invalidate";

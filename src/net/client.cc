@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -31,8 +32,9 @@ Status SnapshotView::Apply(const SnapshotFrame& frame, bool is_full) {
   } else {
     if (frame.base_sequence != sequence_) {
       return Status::FailedPrecondition(
-          "delta base " + std::to_string(frame.base_sequence) +
-          " does not patch view sequence " + std::to_string(sequence_));
+          "snapshot stream gap: view holds sequence " +
+          std::to_string(sequence_) + " but the delta patches base " +
+          std::to_string(frame.base_sequence) + "; resubscribe");
     }
     ++deltas_applied_;
   }
@@ -54,6 +56,16 @@ Status SnapshotView::Apply(const SnapshotFrame& frame, bool is_full) {
   return Status::OK();
 }
 
+void SnapshotView::Reset() {
+  rows_.clear();
+  sequence_ = 0;
+  sim_time_ = 0.0;
+  num_running_ = 0;
+  num_queued_ = 0;
+  num_blocked_ = 0;
+  degraded_ = false;
+}
+
 const service::QueryProgress* SnapshotView::Find(QueryId id) const {
   const auto it = rows_.find(id);
   return it == rows_.end() ? nullptr : &it->second;
@@ -71,8 +83,11 @@ std::vector<service::QueryProgress> SnapshotView::Rows() const {
 Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
                                                 std::uint16_t port,
                                                 double timeout_s) {
-  (void)timeout_s;  // connects to localhost in practice; blocking is fine
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  // Non-blocking connect + poll so `timeout_s` bounds the handshake
+  // itself: a black-holed host (SYN into the void) fails on schedule
+  // instead of hanging for the kernel's multi-minute default.
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC | SOCK_NONBLOCK, 0);
   if (fd < 0) return Status::Internal("socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
@@ -82,9 +97,45 @@ Result<std::unique_ptr<Client>> Client::Connect(const std::string& host,
     return Status::InvalidArgument("bad address: " + host);
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Status::Internal(std::string("connect failed: ") +
+                              std::strerror(errno));
+    }
+    const double deadline = NowSeconds() + timeout_s;
+    for (;;) {
+      const double remaining = deadline - NowSeconds();
+      if (remaining <= 0) {
+        ::close(fd);
+        return Status::Internal("connect to " + host + ":" +
+                                std::to_string(port) + " timed out after " +
+                                std::to_string(timeout_s) + "s");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      const int pr =
+          ::poll(&pfd, 1, static_cast<int>(remaining * 1000) + 1);
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        return Status::Internal("poll failed during connect");
+      }
+      if (pr > 0) break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0 ||
+        so_error != 0) {
+      ::close(fd);
+      return Status::Internal(
+          std::string("connect failed: ") +
+          std::strerror(so_error != 0 ? so_error : errno));
+    }
+  }
+  // Connected: back to blocking for the simple request/reply paths.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) < 0) {
     ::close(fd);
-    return Status::Internal(std::string("connect failed: ") +
-                            std::strerror(errno));
+    return Status::Internal("fcntl failed clearing O_NONBLOCK");
   }
   return std::unique_ptr<Client>(new Client(fd));
 }
@@ -109,7 +160,8 @@ Status Client::WriteAll(const std::string& bytes, double timeout_s) {
   return Status::OK();
 }
 
-Result<Frame> Client::ReadFrame(double timeout_s) {
+Result<Frame> Client::ReadFrame(double timeout_s, bool* timed_out) {
+  if (timed_out != nullptr) *timed_out = false;
   const double deadline = NowSeconds() + timeout_s;
   for (;;) {
     // Try to peel a frame off what we already buffered.
@@ -131,6 +183,7 @@ Result<Frame> Client::ReadFrame(double timeout_s) {
 
     const double remaining = deadline - NowSeconds();
     if (remaining <= 0) {
+      if (timed_out != nullptr) *timed_out = true;
       return Status::Internal("timed out waiting for a frame");
     }
     pollfd pfd{fd_, POLLIN, 0};
@@ -176,6 +229,30 @@ Result<FrameBody> Client::Call(const FrameBody& request, double timeout_s) {
       return error->ToStatus();
     }
     return std::move(frame->body);
+  }
+}
+
+Result<bool> Client::PumpOne(double timeout_s) {
+  const double deadline = NowSeconds() + timeout_s;
+  for (;;) {
+    bool timed_out = false;
+    auto frame = ReadFrame(deadline - NowSeconds(), &timed_out);
+    if (!frame.ok()) {
+      if (timed_out) return false;
+      return frame.status();
+    }
+    if (const auto* error = std::get_if<ErrorReply>(&frame->body)) {
+      // A push-channel ERROR is the server saying goodbye (shed or
+      // drain) — surface it; the stream is over.
+      const Status status = error->ToStatus();
+      if (status.ok()) return Status::Internal("ERROR frame with OK code");
+      return status;
+    }
+    if (std::holds_alternative<SnapshotFrame>(frame->body)) {
+      MQPI_RETURN_NOT_OK(ApplyPush(*frame));
+      return true;
+    }
+    // Stale replies etc.: skip and keep reading until the deadline.
   }
 }
 

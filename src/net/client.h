@@ -37,6 +37,11 @@ class SnapshotView {
   /// what the view holds — the stream has a gap; resubscribe.
   Status Apply(const SnapshotFrame& frame, bool is_full);
 
+  /// Back to the empty, sequence-0 state (the applied-frame tallies
+  /// survive) — reuse the view across a resubscribe without carrying
+  /// rows the new stream may never mention again.
+  void Reset();
+
   std::uint64_t sequence() const { return sequence_; }
   SimTime sim_time() const { return sim_time_; }
   bool degraded() const { return degraded_; }
@@ -66,7 +71,9 @@ class SnapshotView {
 
 class Client {
  public:
-  /// Connects (blocking) to a PiServer. Internal on socket errors.
+  /// Connects to a PiServer; `timeout_s` bounds the TCP connect itself
+  /// (non-blocking connect + poll — a black-holed host fails in
+  /// `timeout_s`, it does not hang). Internal on socket errors.
   static Result<std::unique_ptr<Client>> Connect(const std::string& host,
                                                  std::uint16_t port,
                                                  double timeout_s = 5.0);
@@ -103,13 +110,24 @@ class Client {
   Result<std::uint64_t> WaitForSequence(std::uint64_t min_sequence,
                                         double timeout_s = 5.0);
 
+  /// Reads frames until one snapshot push has been applied to view()
+  /// or `timeout_s` elapses: true = a push landed, false = timeout.
+  /// Stream gaps (FailedPrecondition from the view) and connection
+  /// errors surface as errors; non-push frames are skipped. The
+  /// resilient wrapper's pump loop.
+  Result<bool> PumpOne(double timeout_s);
+
   const SnapshotView& view() const { return view_; }
+  /// The view is the caller's to reset across a resubscribe.
+  SnapshotView* mutable_view() { return &view_; }
 
  private:
   explicit Client(int fd) : fd_(fd) {}
 
-  /// Blocks (up to `timeout_s`) for the next complete frame.
-  Result<Frame> ReadFrame(double timeout_s);
+  /// Blocks (up to `timeout_s`) for the next complete frame. On
+  /// failure, `*timed_out` (optional) distinguishes deadline expiry
+  /// from connection errors.
+  Result<Frame> ReadFrame(double timeout_s, bool* timed_out = nullptr);
   Status WriteAll(const std::string& bytes, double timeout_s);
   /// Applies a push frame to the view; resubscribe-on-gap is the
   /// caller's job (the Status surfaces it).

@@ -208,6 +208,9 @@ void PiServer::LoopThread() {
         UpdateEpollInterest(conn);
       }
     }
+    if (drain_requested_.exchange(false, std::memory_order_acq_rel)) {
+      DrainOnLoop();
+    }
     // Coalesced push: however many publishes landed, encode once
     // against the latest snapshot.
     if (snapshot_wake || fanout_.epoch() != pushed_epoch_) PushSnapshots();
@@ -506,6 +509,56 @@ void PiServer::CloseConnection(std::uint64_t conn_id, bool count_dropped) {
   metrics_->AddConnections(-1);
   if (count_dropped) metrics_->conns_dropped->Increment();
   conns_.erase(it);
+}
+
+Status PiServer::Drain(double timeout_s) {
+  if (!running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server not running");
+  }
+  const std::uint64_t target =
+      drains_done_.load(std::memory_order_acquire) + 1;
+  drain_requested_.store(true, std::memory_order_release);
+  waker_.Signal();
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  while (drains_done_.load(std::memory_order_acquire) < target) {
+    if (!running_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("server stopped during drain");
+    }
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Internal("drain timed out waiting for the event loop");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::OK();
+}
+
+void PiServer::DrainOnLoop() {
+  ErrorReply goodbye;
+  goodbye.code = StatusCode::kUnavailable;
+  goodbye.message = "server draining; stream closed";
+  const std::string frame = EncodeFrame(0, FrameBody{goodbye});
+  std::vector<std::uint64_t> done;
+  for (auto& [id, conn] : conns_) {
+    if (!conn->subscribed || conn->closing()) continue;
+    // Queue the goodbye BEFORE set_closing (a closing connection drops
+    // queued frames silently), then let the normal flush/reap path
+    // retire the connection once the frame is on the wire.
+    QueueOnConn(conn.get(), frame);
+    conn->set_closing();
+    FlushConnection(conn.get());
+    if (!conn->wants_write()) {
+      done.push_back(id);
+    } else {
+      UpdateEpollInterest(conn.get());
+    }
+  }
+  for (std::uint64_t id : done) {
+    CloseConnection(id, /*count_dropped=*/false);
+  }
+  drains_done_.fetch_add(1, std::memory_order_acq_rel);
 }
 
 void PiServer::EvaluateConnFaults() {

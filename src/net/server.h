@@ -92,6 +92,14 @@ class PiServer {
   void Stop();
   bool running() const { return running_.load(std::memory_order_acquire); }
 
+  /// Graceful-drain hook (PiService::DrainHooks::goodbye): asks the
+  /// loop thread to send every subscribed connection one final ERROR
+  /// frame (kUnavailable, "server draining") and mark it closing, so
+  /// it reaps as soon as the goodbye flushes. Blocks until the loop
+  /// has done so or `timeout_s` expires. The server keeps running —
+  /// call Stop() afterwards. FailedPrecondition when not running.
+  Status Drain(double timeout_s = 2.0);
+
   /// The bound TCP port (valid after Start()).
   std::uint16_t port() const { return bound_port_; }
   /// The HTTP telemetry port (0 when disabled; valid after Start()).
@@ -140,6 +148,8 @@ class PiServer {
   void UpdateEpollInterest(Connection* conn);
   void CloseConnection(std::uint64_t conn_id, bool count_dropped);
   void EvaluateConnFaults();
+  /// Loop-thread half of Drain(): goodbye + closing for subscribers.
+  void DrainOnLoop();
 
   service::PiService* const service_;
   const PiServerOptions options_;
@@ -159,6 +169,8 @@ class PiServer {
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<std::uint64_t> drains_done_{0};
   std::thread loop_;
 
   // Loop-thread-only state.

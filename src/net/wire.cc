@@ -42,7 +42,7 @@ bool ValidFrameType(std::uint8_t type) {
 }
 
 bool ValidStatusCode(std::uint8_t code) {
-  return code <= static_cast<std::uint8_t>(StatusCode::kResourceExhausted);
+  return code <= static_cast<std::uint8_t>(StatusCode::kUnavailable);
 }
 
 bool ValidQueryState(std::uint8_t state) {
@@ -94,6 +94,7 @@ Status ErrorReply::ToStatus() const {
     case StatusCode::kInternal: return Status::Internal(message);
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(message);
+    case StatusCode::kUnavailable: return Status::Unavailable(message);
   }
   return Status::Internal(message);
 }

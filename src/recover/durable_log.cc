@@ -1,0 +1,348 @@
+#include "recover/durable_log.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+
+#include "fault/fault_injector.h"
+#include "net/wire.h"
+#include "service/metrics.h"
+
+namespace mqpi::recover {
+
+namespace {
+
+Status Errno(const char* what, const std::string& path) {
+  return Status::Internal(std::string(what) + " failed for " + path + ": " +
+                          std::strerror(errno));
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) return Errno("open", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Errno("fsync", dir);
+  return Status::OK();
+}
+
+/// "checkpoint-<K>.ckpt" / "journal-<K>.wal" -> K.
+std::optional<std::uint64_t> ParseIndex(std::string_view name,
+                                        std::string_view prefix,
+                                        std::string_view suffix) {
+  if (name.size() <= prefix.size() + suffix.size() ||
+      name.substr(0, prefix.size()) != prefix ||
+      name.substr(name.size() - suffix.size()) != suffix) {
+    return std::nullopt;
+  }
+  const std::string_view digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return std::nullopt;
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+struct DirListing {
+  std::vector<std::uint64_t> checkpoints;  // ascending
+  std::vector<std::uint64_t> journals;     // ascending
+};
+
+Result<DirListing> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    if (errno == ENOENT) return Status::NotFound("no log directory " + dir);
+    return Errno("opendir", dir);
+  }
+  DirListing out;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string_view name = entry->d_name;
+    if (auto k = ParseIndex(name, "checkpoint-", ".ckpt")) {
+      out.checkpoints.push_back(*k);
+    } else if (auto k = ParseIndex(name, "journal-", ".wal")) {
+      out.journals.push_back(*k);
+    }
+  }
+  ::closedir(d);
+  std::sort(out.checkpoints.begin(), out.checkpoints.end());
+  std::sort(out.journals.begin(), out.journals.end());
+  return out;
+}
+
+struct CheckpointImage {
+  std::vector<Event> events;
+  std::string verification;
+};
+
+/// Strict validation: header index must match, the declared event
+/// count must decode exactly, the verification trailer must be
+/// present, and nothing may be torn. Anything less falls back to an
+/// older checkpoint.
+std::optional<CheckpointImage> ReadCheckpoint(const std::string& path,
+                                              std::uint64_t expect_index) {
+  auto log = ReadLog(path);
+  if (!log.ok() || log->truncated_tail || log->records.size() < 2) {
+    return std::nullopt;
+  }
+  const std::vector<Record>& records = log->records;
+  if (records.front().type != RecordType::kCheckpointHeader ||
+      records.back().type != RecordType::kVerification) {
+    return std::nullopt;
+  }
+  net::WireReader header(records.front().payload.data(),
+                         records.front().payload.size());
+  std::uint64_t index = 0, count = 0;
+  if (!header.U64(&index) || !header.U64(&count) || !header.Exhausted() ||
+      index != expect_index || count != records.size() - 2) {
+    return std::nullopt;
+  }
+  CheckpointImage image;
+  image.events.reserve(count);
+  for (std::size_t i = 1; i + 1 < records.size(); ++i) {
+    if (records[i].type != RecordType::kEvent) return std::nullopt;
+    Event event;
+    if (!DecodeEvent(records[i].payload, &event).ok()) return std::nullopt;
+    image.events.push_back(std::move(event));
+  }
+  image.verification = records.back().payload;
+  return image;
+}
+
+}  // namespace
+
+std::string DurableLog::CheckpointPath(const std::string& dir,
+                                       std::uint64_t index) {
+  return dir + "/checkpoint-" + std::to_string(index) + ".ckpt";
+}
+
+std::string DurableLog::JournalPath(const std::string& dir,
+                                    std::uint64_t index) {
+  return dir + "/journal-" + std::to_string(index) + ".wal";
+}
+
+// ---- Load -------------------------------------------------------------------
+
+Result<LoadedState> DurableLog::Load(const std::string& dir) {
+  auto listing = ListDir(dir);
+  if (!listing.ok()) return listing.status();
+
+  LoadedState state;
+
+  // Newest checkpoint that validates wins; corrupt ones are counted
+  // and skipped (their journal segments still replay, so falling back
+  // loses nothing).
+  for (auto it = listing->checkpoints.rbegin();
+       it != listing->checkpoints.rend(); ++it) {
+    auto image = ReadCheckpoint(CheckpointPath(dir, *it), *it);
+    if (!image) {
+      ++state.corrupt_checkpoints;
+      continue;
+    }
+    state.had_checkpoint = true;
+    state.checkpoint_index = *it;
+    state.events = std::move(image->events);
+    state.verification_prefix = state.events.size();
+    state.verification = std::move(image->verification);
+    break;
+  }
+
+  // Replay journal segments from the anchor upward. A gap (missing
+  // segment) or a torn tail ends the recoverable history — events past
+  // either cannot be applied without misordering the input stream.
+  const std::uint64_t first = state.had_checkpoint ? state.checkpoint_index : 0;
+  const std::uint64_t last =
+      listing->journals.empty() ? first : listing->journals.back();
+  state.active_index = first;
+  state.active_valid_bytes = 0;
+  for (std::uint64_t s = first; s <= last; ++s) {
+    auto log = ReadLog(JournalPath(dir, s));
+    if (!log.ok()) break;  // gap: segment missing or unreadable
+    state.active_index = s;
+    state.active_valid_bytes = log->valid_bytes;
+    for (const Record& record : log->records) {
+      if (record.type != RecordType::kEvent) {
+        // Foreign record in a journal: treat like corruption from here.
+        log->truncated_tail = true;
+        break;
+      }
+      Event event;
+      if (!DecodeEvent(record.payload, &event).ok()) {
+        log->truncated_tail = true;
+        break;
+      }
+      state.events.push_back(std::move(event));
+    }
+    if (log->truncated_tail) {
+      state.tail_truncated = true;
+      state.dropped_bytes += log->dropped_bytes;
+      break;
+    }
+  }
+  return state;
+}
+
+// ---- writer -----------------------------------------------------------------
+
+DurableLog::~DurableLog() { Close(); }
+
+Status DurableLog::Open(const std::string& dir, Options options,
+                        const LoadedState* resume) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Errno("mkdir", dir);
+  }
+  dir_ = dir;
+  options_ = options;
+  poisoned_ = false;
+  if (options_.metrics != nullptr) {
+    journal_records_ = options_.metrics->counter("recover.journal_records");
+    journal_write_fails_ =
+        options_.metrics->counter("recover.journal_write_fails");
+    checkpoints_written_ =
+        options_.metrics->counter("recover.checkpoints_written");
+  }
+  if (resume != nullptr) {
+    history_ = resume->events;
+    active_index_ = resume->active_index;
+    return OpenSegmentLocked(
+        active_index_, static_cast<std::int64_t>(resume->active_valid_bytes));
+  }
+  history_.clear();
+  active_index_ = 0;
+  return OpenSegmentLocked(0, 0);
+}
+
+void DurableLog::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  journal_.Close();
+}
+
+Status DurableLog::OpenSegmentLocked(std::uint64_t index,
+                                     std::int64_t truncate_to) {
+  return journal_.Open(JournalPath(dir_, index), truncate_to);
+}
+
+void DurableLog::Append(const Event& event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  history_.push_back(event);
+  if (poisoned_) return;  // memory-only until the next checkpoint
+  if (options_.fault != nullptr && options_.fault->enabled() &&
+      options_.fault->ShouldFire(fault::kRecoverJournalWriteFail)) {
+    poisoned_ = true;
+    if (journal_write_fails_ != nullptr) journal_write_fails_->Increment();
+    return;
+  }
+  const Status status = journal_.Append(RecordType::kEvent, EncodeEvent(event));
+  if (!status.ok()) {
+    // A dropped record makes every later journal record unreplayable
+    // (the input stream would have a hole), so stop writing this
+    // segment entirely; the in-memory history stays whole and the next
+    // checkpoint restores durability.
+    poisoned_ = true;
+    if (journal_write_fails_ != nullptr) journal_write_fails_->Increment();
+    return;
+  }
+  if (journal_records_ != nullptr) journal_records_->Increment();
+  if (options_.sync_each_append) (void)journal_.Sync();
+}
+
+Status DurableLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (poisoned_) return Status::OK();  // nothing durable to sync
+  return journal_.Sync();
+}
+
+Status DurableLog::WriteCheckpoint(std::string_view verification) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t next = active_index_ + 1;
+  const std::string final_path = CheckpointPath(dir_, next);
+  const std::string tmp_path = final_path + ".tmp";
+
+  {
+    RecordWriter writer;
+    MQPI_RETURN_NOT_OK(writer.Open(tmp_path, /*truncate_to=*/0));
+    net::WireWriter header;
+    header.U64(next);
+    header.U64(static_cast<std::uint64_t>(history_.size()));
+    MQPI_RETURN_NOT_OK(
+        writer.Append(RecordType::kCheckpointHeader, header.bytes()));
+    for (const Event& event : history_) {
+      MQPI_RETURN_NOT_OK(writer.Append(RecordType::kEvent, EncodeEvent(event)));
+    }
+    MQPI_RETURN_NOT_OK(writer.Append(RecordType::kVerification, verification));
+    MQPI_RETURN_NOT_OK(writer.Sync());
+  }
+
+  if (options_.fault != nullptr && options_.fault->enabled() &&
+      options_.fault->ShouldFire(fault::kRecoverCheckpointCorrupt)) {
+    // Flip one byte in the middle of the image so validation rejects
+    // it and recovery falls back to the previous checkpoint.
+    const int fd = ::open(tmp_path.c_str(), O_RDWR | O_CLOEXEC);
+    if (fd >= 0) {
+      struct stat st{};
+      if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+        const off_t at = st.st_size / 2;
+        char byte = 0;
+        if (::pread(fd, &byte, 1, at) == 1) {
+          byte = static_cast<char>(byte ^ 0xFF);
+          (void)::pwrite(fd, &byte, 1, at);
+          (void)::fsync(fd);
+        }
+      }
+      ::close(fd);
+    }
+  }
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename", final_path);
+  }
+  MQPI_RETURN_NOT_OK(SyncDir(dir_));
+
+  // Rotate to a fresh segment; the checkpoint now carries the whole
+  // history, so a poisoned journal is healed here.
+  MQPI_RETURN_NOT_OK(OpenSegmentLocked(next, /*truncate_to=*/0));
+  active_index_ = next;
+  poisoned_ = false;
+  if (checkpoints_written_ != nullptr) checkpoints_written_->Increment();
+
+  // Retention: keep this checkpoint and the previous one, plus every
+  // journal segment at or after the older kept checkpoint.
+  if (next >= 2) {
+    const std::uint64_t keep_from = next - 1;
+    auto listing = ListDir(dir_);
+    if (listing.ok()) {
+      for (std::uint64_t k : listing->checkpoints) {
+        if (k < keep_from) (void)::unlink(CheckpointPath(dir_, k).c_str());
+      }
+      for (std::uint64_t j : listing->journals) {
+        if (j < keep_from) (void)::unlink(JournalPath(dir_, j).c_str());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool DurableLog::healthy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !poisoned_ && journal_.is_open();
+}
+
+std::uint64_t DurableLog::active_index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_index_;
+}
+
+std::uint64_t DurableLog::history_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+}  // namespace mqpi::recover

@@ -1,0 +1,114 @@
+// Length-prefixed, checksummed record log — the framing shared by the
+// write-ahead journal and the checkpoint files.
+//
+// On-disk record format (all little-endian, same byte discipline as
+// net/wire.h):
+//
+//   offset  size  field
+//        0     4  payload length N (bytes after the 12-byte prefix)
+//        4     4  CRC-32 (polynomial 0xEDB88320) of type byte + payload
+//        8     4  record type (RecordType; u32 so the prefix is
+//                 12 bytes and naturally aligned)
+//       12     N  payload bytes (WireWriter-encoded)
+//
+// The reader walks records front to back and stops at the first
+// record whose length runs past the file or whose checksum does not
+// match: a torn or corrupt tail is *detected and truncated*, never
+// fatal — the bytes before it are a valid prefix of the history, which
+// is exactly what crash recovery wants. A corruption anywhere but the
+// tail also just ends the readable prefix (and is reported so callers
+// can count it); replaying a prefix of the input history always yields
+// a consistent state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "recover/event.h"
+
+namespace mqpi::recover {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320), the standard table
+/// variant. Seed chaining: pass a previous return value as `seed` to
+/// extend a running checksum.
+std::uint32_t Crc32(const char* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+inline constexpr std::size_t kRecordPrefixBytes = 12;
+/// Sanity ceiling on a single record payload (a spec + SQL-ish text is
+/// tiny; anything bigger is corruption).
+inline constexpr std::uint32_t kMaxRecordBytes = 16u << 20;
+
+enum class RecordType : std::uint32_t {
+  /// A serialized recover::Event.
+  kEvent = 1,
+  /// Checkpoint file header (index, event count).
+  kCheckpointHeader = 2,
+  /// Checkpoint verification trailer: a wire-encoded SNAPSHOT_FULL
+  /// frame of the state at the checkpoint cut.
+  kVerification = 3,
+};
+
+struct Record {
+  RecordType type = RecordType::kEvent;
+  std::string payload;
+};
+
+/// Frames one record (prefix + payload) ready to append.
+std::string EncodeRecord(RecordType type, std::string_view payload);
+
+// ---- event payloads ---------------------------------------------------------
+
+std::string EncodeEvent(const Event& event);
+Status DecodeEvent(std::string_view payload, Event* out);
+
+// ---- file-backed record log -------------------------------------------------
+
+/// Append side. Not internally locked — DurableLog serializes access.
+class RecordWriter {
+ public:
+  RecordWriter() = default;
+  ~RecordWriter();
+  RecordWriter(const RecordWriter&) = delete;
+  RecordWriter& operator=(const RecordWriter&) = delete;
+
+  /// Opens `path` for appending, creating it if missing. When
+  /// `truncate_to` is non-negative the file is first truncated to that
+  /// many bytes (recovery chops a torn tail before resuming appends).
+  Status Open(const std::string& path, std::int64_t truncate_to = -1);
+  void Close();
+  bool is_open() const { return fd_ >= 0; }
+
+  Status Append(RecordType type, std::string_view payload);
+  /// fsync(2) the file.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  std::uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+  std::uint64_t bytes_written_ = 0;
+};
+
+/// One whole-file read: every record of the valid prefix, plus where
+/// and why the prefix ended.
+struct ReadLogResult {
+  std::vector<Record> records;
+  /// Bytes of the valid prefix (the append-resume / truncate point).
+  std::uint64_t valid_bytes = 0;
+  /// Bytes past the valid prefix (0 for a clean file).
+  std::uint64_t dropped_bytes = 0;
+  /// True when dropped_bytes > 0 (torn or corrupt tail detected).
+  bool truncated_tail = false;
+};
+
+/// Reads `path` front to back per the framing contract. NotFound when
+/// the file does not exist; corruption is never an error (see header
+/// comment).
+Result<ReadLogResult> ReadLog(const std::string& path);
+
+}  // namespace mqpi::recover

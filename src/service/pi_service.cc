@@ -117,6 +117,7 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   stale_snapshots_ = metrics_.counter("service.stale_snapshots");
   watchdog_restarts_ = metrics_.counter("service.watchdog_restarts");
   submits_shed_ = metrics_.counter("service.submits_shed");
+  drains_ = metrics_.counter("service.drains");
   degraded_estimates_ = metrics_.counter("pi.degraded_estimates");
   rate_floor_hits_ = metrics_.counter("pi.rate_floor_hits");
   corrupt_rate_samples_ = metrics_.counter("pi.corrupt_rate_samples");
@@ -125,6 +126,8 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
       metrics_.gauge("service.ticker_last_step_age_quanta");
   step_wall_ms_ = metrics_.histogram("step.wall_ms");
   snapshot_age_ms_ = metrics_.histogram("snapshot.age_ms");
+
+  event_sink_ = options_.event_sink;
 
   // Sequence-0 snapshot so snapshot() is never null.
   snapshot_ = std::make_shared<ProgressSnapshot>();
@@ -139,6 +142,15 @@ PiService::~PiService() { Stop(); }
 
 // ---- sessions ---------------------------------------------------------------
 
+void PiService::AppendEventLocked(const recover::Event& event) {
+  if (event_sink_ != nullptr) event_sink_->Append(event);
+}
+
+void PiService::SetEventSink(recover::EventSink* sink) {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  event_sink_ = sink;
+}
+
 std::unique_ptr<Session> PiService::OpenSession(std::string name) {
   std::uint64_t id;
   {
@@ -148,6 +160,11 @@ std::unique_ptr<Session> PiService::OpenSession(std::string name) {
     state.id = id;
     state.name = name;
     sessions_.emplace(id, std::move(state));
+    recover::Event event;
+    event.kind = recover::EventKind::kSessionOpen;
+    event.session_id = id;
+    event.name = name;
+    AppendEventLocked(event);
   }
   metrics_.counter("sessions.opened")->Increment();
   return std::unique_ptr<Session>(new Session(this, id, std::move(name)));
@@ -178,6 +195,9 @@ Status PiService::CheckOwnedLocked(std::uint64_t session_id,
 Result<QueryId> PiService::SessionSubmit(std::uint64_t session_id,
                                          const engine::QuerySpec& spec,
                                          Priority priority) {
+  if (draining()) {
+    return Status::Unavailable("service is draining; submissions closed");
+  }
   QueryId id;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
@@ -213,6 +233,13 @@ Result<QueryId> PiService::SessionSubmit(std::uint64_t session_id,
     ++session->submitted;
     query_owner_[id] = session_id;
     metrics_.counter("service.submits")->Increment();
+    recover::Event event;
+    event.kind = recover::EventKind::kSubmit;
+    event.session_id = session_id;
+    event.query_id = id;  // replay verifies the engine re-assigns it
+    event.spec = spec;
+    event.priority = priority;
+    AppendEventLocked(event);
   }
   if (tracer_->enabled()) {
     tracer_->Instant("service", "session_submit", id, "session",
@@ -224,6 +251,9 @@ Result<QueryId> PiService::SessionSubmit(std::uint64_t session_id,
 
 Status PiService::SessionSubmitAt(std::uint64_t session_id, SimTime time,
                                   engine::QuerySpec spec, Priority priority) {
+  if (draining()) {
+    return Status::Unavailable("service is draining; submissions closed");
+  }
   {
     std::lock_guard<std::mutex> lock(state_mu_);
     if (FindSessionLocked(session_id) == nullptr) {
@@ -237,6 +267,13 @@ Status PiService::SessionSubmitAt(std::uint64_t session_id, SimTime time,
           "scheduled-arrival backlog is at its cap of " +
           std::to_string(options_.max_pending_arrivals));
     }
+    recover::Event event;
+    event.kind = recover::EventKind::kSubmitAt;
+    event.session_id = session_id;
+    event.time = time;
+    event.spec = spec;
+    event.priority = priority;
+    AppendEventLocked(event);
     ScheduledSubmit arrival;
     arrival.time = time;
     arrival.session_id = session_id;
@@ -285,6 +322,15 @@ Status PiService::SessionControl(std::uint64_t session_id, QueryId id,
         status = Status::InvalidArgument("unsupported session operation");
         break;
     }
+    if (status.ok()) {
+      recover::Event event;
+      event.kind = recover::EventKind::kControl;
+      event.session_id = session_id;
+      event.query_id = id;
+      event.op = op;
+      event.priority = priority;
+      AppendEventLocked(event);
+    }
   }
   // A resume can wake an otherwise-idle (all-blocked) system.
   if (status.ok() && op == sched::QueryEventKind::kResumed) NotifyWork();
@@ -295,6 +341,13 @@ Status PiService::CloseSession(std::uint64_t session_id) {
   std::lock_guard<std::mutex> lock(state_mu_);
   SessionState* session = FindSessionLocked(session_id);
   if (session == nullptr) return Status::OK();  // idempotent
+
+  {
+    recover::Event event;
+    event.kind = recover::EventKind::kSessionClose;
+    event.session_id = session_id;
+    AppendEventLocked(event);
+  }
 
   // Drop this session's scheduled arrivals.
   if (!arrivals_.empty()) {
@@ -373,6 +426,12 @@ void PiService::StepAndPublish(SimTime dt) {
   bool delayed = false;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    {
+      recover::Event event;
+      event.kind = recover::EventKind::kStep;
+      event.time = dt;
+      AppendEventLocked(event);
+    }
     SubmitDueArrivalsLocked();
     db_->Step(dt);
     pis_->AfterStep();
@@ -722,10 +781,58 @@ void PiService::PublishNow() {
   std::shared_ptr<ProgressSnapshot> snapshot;
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    {
+      recover::Event event;
+      event.kind = recover::EventKind::kPublish;
+      AppendEventLocked(event);
+    }
     snapshot = BuildSnapshotLocked();
     RecordForecastCacheMetricsLocked();
   }
   Publish(std::move(snapshot));
+}
+
+SnapshotPtr PiService::BuildUnpublishedSnapshot() {
+  std::lock_guard<std::mutex> lock(state_mu_);
+  {
+    recover::Event event;
+    event.kind = recover::EventKind::kProbe;
+    AppendEventLocked(event);
+  }
+  return BuildSnapshotLocked();
+}
+
+// ---- graceful drain ---------------------------------------------------------
+
+Status PiService::Drain(const DrainHooks& hooks) {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    return Status::FailedPrecondition("drain already in progress");
+  }
+  // From here every Submit/SubmitAt fails kUnavailable; in-flight work
+  // keeps its state and the final checkpoint captures it.
+  {
+    std::lock_guard<std::mutex> lock(state_mu_);
+    recover::Event event;
+    event.kind = recover::EventKind::kDrain;
+    AppendEventLocked(event);
+  }
+  drains_->Increment();
+  if (tracer_->enabled()) {
+    tracer_->Instant("service", "drain", kInvalidQueryId, "drains",
+                     static_cast<double>(drains_->value()));
+  }
+  if (flight_.enabled()) {
+    flight_.Record(obs::FlightEventKind::kNote, "service", "drain",
+                   static_cast<double>(drains_->value()));
+  }
+  if (hooks.flush) hooks.flush();
+  if (hooks.goodbye) hooks.goodbye();
+  // The shutdown moment is exactly what an incident review wants on
+  // disk: preserve the window leading up to it, then stop the clock.
+  flight_.Trigger("drain");
+  Stop();
+  return Status::OK();
 }
 
 PiService::Liveness PiService::CheckLiveness() const {
@@ -1016,6 +1123,10 @@ Result<std::string> PiService::Explain(const engine::QuerySpec& spec) {
 void PiService::SetAdmissionOpen(bool open) {
   {
     std::lock_guard<std::mutex> lock(state_mu_);
+    recover::Event event;
+    event.kind = recover::EventKind::kAdmission;
+    event.flag = open;
+    AppendEventLocked(event);
     db_->SetAdmissionOpen(open);
   }
   if (open) NotifyWork();

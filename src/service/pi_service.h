@@ -55,6 +55,7 @@
 #include "obs/tracer.h"
 #include "pi/future_model.h"
 #include "pi/pi_manager.h"
+#include "recover/event.h"
 #include "sched/rdbms.h"
 #include "service/metrics.h"
 #include "service/snapshot.h"
@@ -147,6 +148,13 @@ struct PiServiceOptions {
   /// breakdown for /statusz. Off by default: disabled cost is one
   /// relaxed load per instrumented scope.
   bool enable_profiler = false;
+  /// Durability: every state-changing input (session open/close,
+  /// submit, control, admission flips, clock steps, snapshot probes)
+  /// is appended here, under the state lock and in mutation order —
+  /// the write-ahead journal recovery replays (see recover/event.h).
+  /// Not owned; must outlive the service or be detached via
+  /// SetEventSink(nullptr) first. Null = no journaling.
+  recover::EventSink* event_sink = nullptr;
 };
 
 class PiService {
@@ -203,6 +211,40 @@ class PiService {
   /// lets manual-mode dashboards observe submissions and control
   /// operations between Advance() calls.
   void PublishNow();
+
+  /// Builds a fresh snapshot from live state WITHOUT publishing it
+  /// (sequence stays 0; readers never see it) — the checkpoint
+  /// verification probe. Journaled as a kProbe event because building
+  /// a snapshot advances the last-credible-ETA carry state, which
+  /// replay must reproduce.
+  SnapshotPtr BuildUnpublishedSnapshot();
+
+  /// Attaches/detaches the event journal at runtime — recovery replays
+  /// with the sink detached, then reattaches it. Serialized against
+  /// every mutation on the state lock.
+  void SetEventSink(recover::EventSink* sink);
+
+  // ---- graceful drain -------------------------------------------------------
+
+  /// Caller-supplied drain steps, run in order between "admissions
+  /// closed" and "ticker stopped" (the service layer cannot encode
+  /// wire frames or own the journal — the owner wires these).
+  struct DrainHooks {
+    /// Flush the journal and cut the final checkpoint.
+    std::function<void()> flush;
+    /// Notify subscribers the service is going away (goodbye frames).
+    std::function<void()> goodbye;
+  };
+
+  /// Graceful shutdown, in this order: (1) new submissions fail with
+  /// kUnavailable, (2) `flush` runs (journal + final checkpoint),
+  /// (3) `goodbye` runs, (4) the ticker and watchdog stop. Counted in
+  /// `service.drains` and captured as a flight-recorder dump.
+  /// FailedPrecondition on a second call.
+  Status Drain(const DrainHooks& hooks = {});
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
 
   /// Called with every published snapshot, after it is visible via
   /// snapshot(), outside all service locks — the network fan-out's
@@ -326,6 +368,9 @@ class PiService {
   // Requires state_mu_.
   std::shared_ptr<ProgressSnapshot> BuildSnapshotLocked() const;
   void Publish(std::shared_ptr<ProgressSnapshot> snapshot);
+  // Requires state_mu_. Appends to the journal when a sink is
+  // attached; no-op otherwise.
+  void AppendEventLocked(const recover::Event& event);
 
   void TickerLoop();
   void WatchdogLoop();
@@ -355,6 +400,12 @@ class PiService {
   std::unordered_map<std::uint64_t, SessionState> sessions_;
   std::unordered_map<QueryId, std::uint64_t> query_owner_;
   std::uint64_t next_session_id_ = 1;
+  /// The attached journal (guarded by state_mu_; appends happen under
+  /// it, in mutation order).
+  recover::EventSink* event_sink_ = nullptr;
+  /// Admissions gate: true once Drain() begins; submits fail with
+  /// kUnavailable from then on.
+  std::atomic<bool> draining_{false};
 
   // Published snapshot; snapshot_mu_ is held only for the pointer
   // copy/swap, never across engine work.
@@ -407,6 +458,7 @@ class PiService {
   Counter* stale_snapshots_;
   Counter* watchdog_restarts_;
   Counter* submits_shed_;
+  Counter* drains_;
   Counter* degraded_estimates_;
   Counter* rate_floor_hits_;
   Counter* corrupt_rate_samples_;

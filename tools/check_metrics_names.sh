@@ -59,6 +59,12 @@ pi.incremental_fallback
 pi.incremental_resyncs
 pi.batch_kernel_hits
 pi.batch_kernel_regens
+recover.journal_records
+recover.journal_write_fails
+recover.checkpoints_written
+service.drains
+net.client.reconnects
+net.client.resubscribes
 "
 for name in $required_counters; do
   if ! grep -q "^counter $name\$" "$names_file"; then
