@@ -25,7 +25,17 @@
 // checkpoint cut, subscribers get a goodbye frame, then the ticker
 // stops.
 //
-// Usage: pi_server [port] [seconds] [http_port] [journal_dir]
+// Sharding (--shards N): N independent core-pinned schedulers behind
+// one coordinator. Sessions hash-route to shards by name, each shard
+// publishes its own snapshot stream, and the server merges them into
+// the global stream subscribers see by default (`pi_top` shows a
+// per-shard health footer). With a journal directory, shard i journals
+// into <journal_dir>/shard-<i> and the whole fleet recovers per shard.
+//
+// Usage: pi_server [--shards N] [port] [seconds] [http_port]
+//                  [journal_dir]
+//   --shards N  number of scheduler shards (default 1 = the classic
+//               single-service layout)
 //   port        TCP port to listen on (default 7654)
 //   seconds     how long to serve before shutting down (default 60)
 //   http_port   HTTP telemetry port (default 7655; -1 disables,
@@ -41,12 +51,16 @@
 #include <memory>
 #include <thread>
 
+#include <string>
+#include <vector>
+
 #include "common/random.h"
 #include "engine/planner.h"
 #include "net/server.h"
 #include "recover/recovery.h"
 #include "service/pi_service.h"
 #include "service/session.h"
+#include "service/sharded_service.h"
 #include "storage/catalog.h"
 
 using namespace mqpi;
@@ -55,16 +69,171 @@ namespace {
 // async-signal-safe flag; the main loop polls it once a second.
 volatile std::sig_atomic_t g_shutdown = 0;
 void OnSignal(int) { g_shutdown = 1; }
+
+// The --shards N serve loop: N core-pinned schedulers behind one
+// coordinator, sessions hash-routed, per-shard journals under
+// <journal_dir>/shard-<i>.
+int RunSharded(int shards, std::uint16_t port, int seconds, int http_port,
+               const std::string& journal_dir,
+               const service::PiServiceOptions& options) {
+  storage::Catalog catalog;
+
+  std::unique_ptr<recover::RecoveredShardedService> recovered;
+  std::unique_ptr<service::ShardedPiService> ephemeral;
+  service::ShardedPiService* coordinator = nullptr;
+  if (!journal_dir.empty()) {
+    auto result =
+        recover::RecoverSharded(&catalog, journal_dir, shards, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "sharded recovery from %s failed: %s\n",
+                   journal_dir.c_str(), result.status().ToString().c_str());
+      return 1;
+    }
+    recovered = std::make_unique<recover::RecoveredShardedService>(
+        std::move(*result));
+    coordinator = recovered->coordinator.get();
+    std::printf("recovered %d shards from %s: %llu events replayed%s\n",
+                shards, journal_dir.c_str(),
+                static_cast<unsigned long long>(recovered->events_replayed),
+                recovered->all_verified ? "" : " (checkpoint UNVERIFIED)");
+  } else {
+    service::ShardedPiServiceOptions sharded_options;
+    sharded_options.num_shards = shards;
+    sharded_options.shard = options;
+    sharded_options.pin_cpus = true;
+    ephemeral = std::make_unique<service::ShardedPiService>(&catalog,
+                                                            sharded_options);
+    coordinator = ephemeral.get();
+  }
+
+  net::PiServerOptions server_options;
+  server_options.port = port;
+  server_options.http_port = http_port;
+  net::PiServer server(coordinator, server_options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("pi_server listening on 127.0.0.1:%u for %d s "
+              "(%d shards, core-pinned)\n",
+              server.port(), seconds, shards);
+  std::printf("connect a dashboard with: pi_top 127.0.0.1 %u\n",
+              server.port());
+  if (server.http_port() != 0) {
+    std::printf("scrape telemetry with: curl http://127.0.0.1:%u/metrics "
+                "(series labeled shard=\"i\"; also /healthz, /statusz)\n",
+                server.http_port());
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  // One workload session per shard (distinct names route to distinct
+  // shards only by hash — open enough to cover the fleet) feeding the
+  // same batch + Poisson traffic shape as the single-shard demo.
+  std::vector<std::unique_ptr<service::Session>> sessions;
+  std::vector<bool> covered(static_cast<std::size_t>(shards), false);
+  for (int i = 0;
+       static_cast<int>(sessions.size()) < shards && i < shards * 64; ++i) {
+    const std::string name = "pi-server-workload-" + std::to_string(i);
+    const int routed = coordinator->Route(name);
+    if (covered[static_cast<std::size_t>(routed)]) continue;
+    covered[static_cast<std::size_t>(routed)] = true;
+    sessions.push_back(coordinator->OpenSession(name));
+  }
+  if (recovered == nullptr || recovered->events_replayed == 0) {
+    Rng rng(20060326);
+    ZipfSampler sizes(50, 1.2);
+    for (std::size_t s = 0; s < sessions.size(); ++s) {
+      for (int i = 0; i < 4; ++i) {
+        (void)sessions[s]->Submit(
+            engine::QuerySpec::Synthetic(50.0 * sizes.Sample(&rng)));
+      }
+      PoissonProcess arrivals(0.5);
+      while (arrivals.current_time() < static_cast<double>(seconds)) {
+        const double at = arrivals.NextArrival(&rng);
+        (void)sessions[s]->SubmitAt(
+            at, engine::QuerySpec::Synthetic(50.0 * sizes.Sample(&rng)));
+      }
+    }
+  }
+
+  constexpr int kCheckpointEverySeconds = 5;
+  for (int elapsed = 0; elapsed < seconds && g_shutdown == 0; ++elapsed) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    const auto snap = coordinator->GlobalSnapshot();
+    std::printf("t=%5.0fs  running %d  queued %d  shards %d  "
+                "connections %.0f  frames sent %llu\n",
+                snap->sim_time, snap->num_running, snap->num_queued,
+                shards, server.metrics()->connections->value(),
+                static_cast<unsigned long long>(
+                    server.metrics()->frames_sent->value()));
+    if (recovered != nullptr &&
+        (elapsed + 1) % kCheckpointEverySeconds == 0) {
+      for (int i = 0; i < shards; ++i) {
+        const Status cut =
+            recover::Checkpoint(recovered->shards[std::size_t(i)].service.get(),
+                                recovered->shards[std::size_t(i)].log.get());
+        if (!cut.ok()) {
+          std::fprintf(stderr, "shard %d checkpoint failed: %s\n", i,
+                       cut.ToString().c_str());
+        }
+      }
+    }
+  }
+
+  std::printf(g_shutdown != 0 ? "signal received, draining %d shards\n"
+                              : "time up, draining %d shards\n",
+              shards);
+  service::ShardedPiService::DrainHooks hooks;
+  if (recovered != nullptr) {
+    hooks.flush = [&](int shard) {
+      recover::RecoveredService& rec = recovered->shards[std::size_t(shard)];
+      rec.log->Sync();
+      const Status cut = recover::Checkpoint(rec.service.get(), rec.log.get());
+      if (!cut.ok()) {
+        std::fprintf(stderr, "shard %d final checkpoint failed: %s\n", shard,
+                     cut.ToString().c_str());
+      }
+    };
+  }
+  hooks.goodbye = [&] { (void)server.Drain(); };
+  const Status drained = coordinator->Drain(hooks);
+  if (!drained.ok()) {
+    std::fprintf(stderr, "drain failed: %s\n", drained.ToString().c_str());
+  }
+  server.Stop();
+  for (auto& session : sessions) {
+    session->Close();
+    session.reset();
+  }
+  ephemeral.reset();
+  recovered.reset();  // per shard: sessions, then service, then the log
+  return 0;
+}
 }  // namespace
 
 int main(int argc, char** argv) {
+  int shards = 1;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--shards" && i + 1 < argc) {
+      shards = std::atoi(argv[++i]);
+      if (shards < 1) shards = 1;
+      continue;
+    }
+    positional.emplace_back(argv[i]);
+  }
   const auto port = static_cast<std::uint16_t>(
-      argc > 1 ? std::atoi(argv[1]) : 7654);
-  const int seconds = argc > 2 ? std::atoi(argv[2]) : 60;
-  const int http_port = argc > 3 ? std::atoi(argv[3]) : 7655;
-  const std::string journal_dir = argc > 4 ? argv[4] : "";
+      positional.size() > 0 ? std::atoi(positional[0].c_str()) : 7654);
+  const int seconds =
+      positional.size() > 1 ? std::atoi(positional[1].c_str()) : 60;
+  const int http_port =
+      positional.size() > 2 ? std::atoi(positional[2].c_str()) : 7655;
+  const std::string journal_dir = positional.size() > 3 ? positional[3] : "";
 
-  storage::Catalog catalog;
   service::PiServiceOptions options;
   options.rdbms.processing_rate = 100.0;
   options.rdbms.quantum = 0.25;
@@ -72,6 +241,13 @@ int main(int argc, char** argv) {
   // The demo serves its own telemetry: the per-site cost breakdown on
   // /statusz is empty without the profiler armed.
   options.enable_profiler = true;
+
+  if (shards > 1) {
+    return RunSharded(shards, port, seconds, http_port, journal_dir,
+                      options);
+  }
+
+  storage::Catalog catalog;
 
   // With a journal dir the service is recovered from (or freshly
   // anchored in) the durable log; without one it runs ephemeral.

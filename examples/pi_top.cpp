@@ -62,6 +62,22 @@ void Render(const net::SnapshotView& view) {
   }
 }
 
+// Sharded servers attach per-shard rows to STATS; single-shard servers
+// send none and the footer stays exactly the classic two-line layout.
+void RenderShards(const net::StatsReply& stats) {
+  if (stats.shards.empty()) return;
+  for (const net::ShardStatsRow& row : stats.shards) {
+    std::printf("--- shard %d: up %llu quanta | published #%llu | age %.1f "
+                "quanta%s | restarts %llu | running %d | queued %d ---\n",
+                row.shard,
+                static_cast<unsigned long long>(row.uptime_quanta),
+                static_cast<unsigned long long>(row.snapshots_published),
+                row.ticker_age_quanta, row.degraded ? " | DEGRADED" : "",
+                static_cast<unsigned long long>(row.watchdog_restarts),
+                row.num_running, row.num_queued);
+  }
+}
+
 void RenderHealth(const net::StatsReply& stats) {
   std::printf("--- server: up %llu quanta | published #%llu | age %.1f "
               "quanta%s | restarts %llu | shed %llu ---\n",
@@ -119,7 +135,10 @@ int main(int argc, char** argv) {
       break;
     }
     Render(client->view());
-    if (auto stats = client->Stats(); stats.ok()) RenderHealth(*stats);
+    if (auto stats = client->Stats(); stats.ok()) {
+      RenderHealth(*stats);
+      RenderShards(*stats);
+    }
   }
   (void)client->Unsubscribe();
   return 0;

@@ -47,6 +47,7 @@ Status SnapshotView::Apply(const SnapshotFrame& frame, bool is_full) {
   num_queued_ = frame.num_queued;
   num_blocked_ = frame.num_blocked;
   degraded_ = frame.degraded;
+  shard_loads_ = frame.shard_loads;
   if (rows_.size() != frame.total_rows) {
     return Status::Internal("snapshot view holds " +
                             std::to_string(rows_.size()) + " rows, frame " +
@@ -64,6 +65,7 @@ void SnapshotView::Reset() {
   num_queued_ = 0;
   num_blocked_ = 0;
   degraded_ = false;
+  shard_loads_.clear();
 }
 
 const service::QueryProgress* SnapshotView::Find(QueryId id) const {
@@ -341,8 +343,10 @@ Result<StatsReply> Client::Stats() {
   return Status::Internal("unexpected reply type to STATS");
 }
 
-Status Client::Subscribe() {
-  return Call(FrameBody{SubscribeRequest{}}).status();
+Status Client::Subscribe(int shard) {
+  SubscribeRequest request;
+  request.shard = shard;
+  return Call(FrameBody{request}).status();
 }
 
 Status Client::Unsubscribe() {

@@ -50,6 +50,11 @@ class SnapshotView {
   std::size_t rows() const { return rows_.size(); }
   std::uint64_t fulls_applied() const { return fulls_applied_; }
   std::uint64_t deltas_applied() const { return deltas_applied_; }
+  /// Per-shard load gauges from the last frame; empty on single-shard
+  /// streams.
+  const std::vector<service::ShardLoad>& shard_loads() const {
+    return shard_loads_;
+  }
 
   const service::QueryProgress* Find(QueryId id) const;
   /// All rows, sorted by id.
@@ -63,6 +68,7 @@ class SnapshotView {
   std::int32_t num_queued_ = 0;
   std::int32_t num_blocked_ = 0;
   bool degraded_ = false;
+  std::vector<service::ShardLoad> shard_loads_;
   std::uint64_t fulls_applied_ = 0;
   std::uint64_t deltas_applied_ = 0;
 };
@@ -97,8 +103,10 @@ class Client {
   /// connection's transfer counters (see wire.h StatsReply).
   Result<StatsReply> Stats();
   /// SUBSCRIBE; the immediate full snapshot lands in view() (either
-  /// during this call or on the next Pump).
-  Status Subscribe();
+  /// during this call or on the next Pump). `shard` picks the stream
+  /// on sharded servers: -1 = merged/global, 0..N-1 = that shard's own
+  /// publication (see wire.h SubscribeRequest).
+  Status Subscribe(int shard = -1);
   Status Unsubscribe();
 
   /// Generic round trip: sends `request`, applies any interleaved

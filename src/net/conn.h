@@ -79,7 +79,13 @@ class Connection {
 
   // Per-connection protocol state, managed by the server.
   std::unique_ptr<service::Session> session;
+  /// Sharded servers: which shard this connection's session routed to
+  /// (global-id translation for replies). 0 on unsharded servers.
+  int session_shard = 0;
   bool subscribed = false;
+  /// Stream scope: -1 = the merged/global stream, >= 0 = that shard's
+  /// own publication (see SubscribeRequest::shard).
+  int subscribe_shard = -1;
   DeltaEncoder delta;
   /// Chaos (kNetSlowConsumer): skip this many flush opportunities so
   /// the bounded write queue backs up and sheds.

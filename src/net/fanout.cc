@@ -157,6 +157,9 @@ std::string DeltaEncoder::Encode(const service::SnapshotPtr& next,
   frame.age_quanta = next->age_quanta;
   frame.degraded = next->degraded;
   frame.total_rows = static_cast<std::uint32_t>(next->queries.size());
+  // Shard loads ride every frame whole: N entries is noise next to the
+  // row set, and deltas stay self-contained.
+  frame.shard_loads = next->shard_loads;
 
   bool full = last_ == nullptr;
   if (!full) {

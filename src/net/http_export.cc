@@ -13,6 +13,7 @@
 #include "net/fanout.h"
 #include "obs/profiler.h"
 #include "service/pi_service.h"
+#include "service/sharded_service.h"
 
 namespace mqpi::net {
 namespace {
@@ -46,6 +47,14 @@ std::string MakeResponse(int code, std::string_view content_type,
 HttpExporter::HttpExporter(service::PiService* service,
                            NetMetrics* net_metrics, Options options)
     : service_(service),
+      coordinator_(nullptr),
+      net_metrics_(net_metrics),
+      options_(std::move(options)) {}
+
+HttpExporter::HttpExporter(service::ShardedPiService* coordinator,
+                           NetMetrics* net_metrics, Options options)
+    : service_(coordinator->shard_service(0)),
+      coordinator_(coordinator),
       net_metrics_(net_metrics),
       options_(std::move(options)) {}
 
@@ -249,10 +258,47 @@ std::string HttpExporter::RespondTo(const std::string& method,
 }
 
 std::string HttpExporter::MetricsBody() const {
-  return service_->metrics()->PrometheusDump();
+  if (coordinator_ == nullptr) {
+    return service_->metrics()->PrometheusDump();
+  }
+  // Coordinator series first (coord.* plus the server's net.*), then
+  // every shard's registry with a shard="i" label distinguishing the
+  // otherwise-identical service.* names.
+  std::string body = coordinator_->metrics()->PrometheusDump();
+  for (int i = 0; i < coordinator_->num_shards(); ++i) {
+    body += coordinator_->shard_service(i)->metrics()->PrometheusDump(
+        {{"shard", std::to_string(i)}});
+  }
+  return body;
 }
 
 std::string HttpExporter::HealthBody(bool* healthy) const {
+  if (coordinator_ != nullptr) {
+    const service::ShardedPiService::GlobalLiveness fleet =
+        coordinator_->CheckLiveness();
+    *healthy = !fleet.any_stalled;
+    std::string body = *healthy ? "ok\n" : "stalled\n";
+    body += "shards " + std::to_string(coordinator_->num_shards()) + "\n";
+    body += "busy_shards " + std::to_string(fleet.busy_shards) + "\n";
+    for (std::size_t i = 0; i < fleet.shards.size(); ++i) {
+      const service::PiService::Liveness& live = fleet.shards[i];
+      body += "shard " + std::to_string(i) + " " +
+              (live.stalled() ? "stalled" : "ok") + " uptime_quanta " +
+              std::to_string(live.uptime_quanta) + " age_quanta " +
+              std::to_string(live.age_quanta) + " watchdog_restarts " +
+              std::to_string(coordinator_->shard_service(static_cast<int>(i))
+                                 ->metrics()
+                                 ->counter("service.watchdog_restarts")
+                                 ->value()) +
+              "\n";
+    }
+    if (net_metrics_ != nullptr) {
+      body += "slow_consumers_shed " +
+              std::to_string(net_metrics_->slow_consumers_shed->value()) +
+              "\n";
+    }
+    return body;
+  }
   const service::PiService::Liveness live = service_->CheckLiveness();
   *healthy = !live.stalled();
   std::string body = *healthy ? "ok\n" : "stalled\n";
@@ -290,10 +336,19 @@ std::string HttpExporter::StatusBody() const {
     body += "http_requests_ok " + std::to_string(requests_ok()) + "\n";
     body += "http_requests_error " + std::to_string(requests_error()) + "\n";
   }
+  // The profiler is process-wide (obs::GlobalProfiler is a singleton):
+  // one table covers every shard's ticker, keyed by site name.
   body += "\n== profiler ==\n";
   body += obs::GlobalProfiler()->Summary();
-  body += "\n== flight recorder ==\n";
-  body += service_->flight_recorder()->Summary();
+  if (coordinator_ != nullptr) {
+    for (int i = 0; i < coordinator_->num_shards(); ++i) {
+      body += "\n== flight recorder (shard " + std::to_string(i) + ") ==\n";
+      body += coordinator_->shard_service(i)->flight_recorder()->Summary();
+    }
+  } else {
+    body += "\n== flight recorder ==\n";
+    body += service_->flight_recorder()->Summary();
+  }
   return body;
 }
 

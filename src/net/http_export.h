@@ -34,6 +34,7 @@
 
 namespace mqpi::service {
 class PiService;
+class ShardedPiService;
 }  // namespace mqpi::service
 
 namespace mqpi::net {
@@ -58,6 +59,12 @@ class HttpExporter {
   /// serving edge's shed/connection tallies.
   HttpExporter(service::PiService* service, NetMetrics* net_metrics,
                Options options);
+  /// Sharded variant: /metrics concatenates the coordinator's coord.*
+  /// series with every shard's registry (each series labeled
+  /// shard="i"), /healthz aggregates (healthy = no shard stalled), and
+  /// /statusz dumps every shard's flight recorder.
+  HttpExporter(service::ShardedPiService* coordinator,
+               NetMetrics* net_metrics, Options options);
   ~HttpExporter();
 
   HttpExporter(const HttpExporter&) = delete;
@@ -115,7 +122,10 @@ class HttpExporter {
   std::string HealthBody(bool* healthy) const;
   std::string StatusBody() const;
 
+  /// Unsharded: the one service. Sharded: shard 0's service (the
+  /// single-service fallbacks below stay shard-0-scoped by design).
   service::PiService* const service_;
+  service::ShardedPiService* const coordinator_;  // null when unsharded
   NetMetrics* const net_metrics_;  // may be null
   const Options options_;
 

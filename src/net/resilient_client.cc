@@ -128,7 +128,7 @@ void ResilientClient::ServeConnection(Client* client) {
       resubscribes_.fetch_add(1, std::memory_order_relaxed);
       if (resubscribes_counter_ != nullptr) resubscribes_counter_->Increment();
     }
-    return client->Subscribe().ok();
+    return client->Subscribe(options_.subscribe_shard).ok();
   };
   std::uint64_t published = 0;
   const auto publish = [&] {

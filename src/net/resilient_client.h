@@ -68,6 +68,10 @@ class ResilientClient {
     /// Optional counters: net.client.reconnects,
     /// net.client.resubscribes, net.client.connect_fails.
     service::MetricsRegistry* metrics = nullptr;
+    /// Stream scope on sharded servers: -1 = merged/global (default),
+    /// 0..N-1 = that shard's own stream. Re-applied on every
+    /// reconnect/resubscribe.
+    int subscribe_shard = -1;
   };
 
   /// Starts the worker immediately; it connects (and keeps

@@ -34,6 +34,7 @@ void PiServer::LoopWaker::Signal() {
 
 PiServer::PiServer(service::PiService* service, PiServerOptions options)
     : service_(service),
+      coordinator_(nullptr),
       options_(std::move(options)),
       fault_(options_.fault),
       tracer_(service->tracer()),
@@ -42,6 +43,33 @@ PiServer::PiServer(service::PiService* service, PiServerOptions options)
   pool_options.threads = options_.pool_threads;
   pool_options.subscription = options_.subscription;
   pool_options.fault = fault_;
+  pool_ = std::make_unique<SubscriberPool>(&fanout_, metrics_.get(),
+                                           pool_options);
+}
+
+PiServer::PiServer(service::ShardedPiService* coordinator,
+                   PiServerOptions options)
+    : service_(coordinator->shard_service(0)),
+      coordinator_(coordinator),
+      options_(std::move(options)),
+      fault_(options_.fault),
+      // The tracer is process-wide by design (one trace stream per
+      // process); reaching it through shard 0 is just the access path.
+      tracer_(service_->tracer()),
+      // Server-wide net.* metrics belong to the coordinator's
+      // registry, not any one shard's.
+      metrics_(std::make_unique<NetMetrics>(coordinator->metrics())) {
+  shard_fanouts_.reserve(
+      static_cast<std::size_t>(coordinator_->num_shards()));
+  for (int i = 0; i < coordinator_->num_shards(); ++i) {
+    shard_fanouts_.push_back(std::make_unique<SnapshotFanout>());
+  }
+  pushed_shard_epochs_.assign(shard_fanouts_.size(), 0);
+  SubscriberPool::Options pool_options;
+  pool_options.threads = options_.pool_threads;
+  pool_options.subscription = options_.subscription;
+  pool_options.fault = fault_;
+  // In-process subscribers ride the merged/global stream.
   pool_ = std::make_unique<SubscriberPool>(&fanout_, metrics_.get(),
                                            pool_options);
 }
@@ -92,8 +120,11 @@ Status PiServer::Start() {
     HttpExporter::Options http_options;
     http_options.host = options_.http_host;
     http_options.port = static_cast<std::uint16_t>(options_.http_port);
-    http_ = std::make_unique<HttpExporter>(service_, metrics_.get(),
-                                           http_options);
+    http_ = coordinator_ != nullptr
+                ? std::make_unique<HttpExporter>(coordinator_, metrics_.get(),
+                                                 http_options)
+                : std::make_unique<HttpExporter>(service_, metrics_.get(),
+                                                 http_options);
     const Status started = http_->Start(epoll_fd_);
     if (!started.ok()) {
       http_.reset();
@@ -116,13 +147,32 @@ Status PiServer::Start() {
   waker_.event_fd = wake_fd_;
   fanout_.RegisterWaker(&waker_);
   pool_->Start();
-  service_->SetPublishHook(
-      [this](const service::SnapshotPtr& snapshot) {
-        fanout_.Publish(snapshot);
-      });
-  // Seed the fanout so subscribers joining before the next tick see
-  // the current state immediately.
-  fanout_.Publish(service_->snapshot());
+  if (coordinator_ == nullptr) {
+    service_->SetPublishHook(
+        [this](const service::SnapshotPtr& snapshot) {
+          fanout_.Publish(snapshot);
+        });
+    // Seed the fanout so subscribers joining before the next tick see
+    // the current state immediately.
+    fanout_.Publish(service_->snapshot());
+  } else {
+    // Sharded publish path: each shard's ticker lands in its OWN
+    // fanout (pointer swap + the shared loop waker — still O(1), and
+    // no shard ever waits on another shard's publish or on the merge).
+    // The loop thread folds shard publishes into the merged/global
+    // fanout_ once per wake in MaybePublishMerged().
+    for (int i = 0; i < coordinator_->num_shards(); ++i) {
+      SnapshotFanout* shard_fanout = shard_fanouts_[std::size_t(i)].get();
+      shard_fanout->RegisterWaker(&waker_);
+      coordinator_->shard_service(i)->SetPublishHook(
+          [shard_fanout](const service::SnapshotPtr& snapshot) {
+            shard_fanout->Publish(snapshot);
+          });
+      shard_fanout->Publish(coordinator_->shard_service(i)->snapshot());
+    }
+    last_merged_ = coordinator_->GlobalSnapshot();
+    fanout_.Publish(last_merged_);
+  }
 
   loop_ = std::thread([this] { LoopThread(); });
   return Status::OK();
@@ -130,14 +180,23 @@ Status PiServer::Start() {
 
 void PiServer::Stop() {
   if (running_.exchange(false, std::memory_order_acq_rel)) {
-    // Detach from the service first: after this returns no new
-    // publishes enter the fanout, so tearing down wakers is safe.
-    service_->SetPublishHook(nullptr);
+    // Detach from the service(s) first: after this returns no new
+    // publishes enter any fanout, so tearing down wakers is safe.
+    if (coordinator_ == nullptr) {
+      service_->SetPublishHook(nullptr);
+    } else {
+      for (int i = 0; i < coordinator_->num_shards(); ++i) {
+        coordinator_->shard_service(i)->SetPublishHook(nullptr);
+      }
+    }
     stop_.store(true, std::memory_order_release);
     waker_.Signal();
     if (loop_.joinable()) loop_.join();
     pool_->Stop();
     fanout_.UnregisterWaker(&waker_);
+    for (auto& shard_fanout : shard_fanouts_) {
+      shard_fanout->UnregisterWaker(&waker_);
+    }
     waker_.event_fd = -1;
   }
   // Loop thread is gone; its state is ours to reap.
@@ -211,9 +270,13 @@ void PiServer::LoopThread() {
     if (drain_requested_.exchange(false, std::memory_order_acq_rel)) {
       DrainOnLoop();
     }
-    // Coalesced push: however many publishes landed, encode once
-    // against the latest snapshot.
-    if (snapshot_wake || fanout_.epoch() != pushed_epoch_) PushSnapshots();
+    // Coalesced push: however many publishes landed, merge once (the
+    // coordinator quantum — sharded only) and encode once per stream
+    // against its latest snapshot.
+    if (snapshot_wake || PushPending()) {
+      MaybePublishMerged();
+      PushSnapshots();
+    }
     if (fault_ != nullptr && fault_->enabled()) EvaluateConnFaults();
   }
 }
@@ -249,8 +312,15 @@ void PiServer::AcceptPending() {
     conn_options.write_queue_max_bytes = options_.write_queue_max_bytes;
     const std::uint64_t id = next_conn_id_++;
     auto conn = std::make_unique<Connection>(fd, id, conn_options);
-    conn->session =
-        service_->OpenSession("tcp-conn-" + std::to_string(id));
+    if (coordinator_ != nullptr) {
+      int shard = 0;
+      conn->session = coordinator_->OpenSession(
+          "tcp-conn-" + std::to_string(id), &shard);
+      conn->session_shard = shard;
+    } else {
+      conn->session =
+          service_->OpenSession("tcp-conn-" + std::to_string(id));
+    }
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -272,25 +342,7 @@ bool PiServer::ServiceConnection(Connection* conn) {
 
     // Transport-level verbs first: they touch connection push state.
     if (frame.header.type == FrameType::kSubscribe) {
-      if (!conn->subscribed) {
-        conn->subscribed = true;
-        conn->delta.Reset();
-        conn->pushed_sequence = 0;
-        metrics_->AddSubscriptions(1);
-      }
-      SubscribeReply reply;
-      const service::SnapshotPtr latest = fanout_.Latest();
-      reply.sequence = latest ? latest->sequence : 0;
-      QueueOnConn(conn,
-                  EncodeFrame(frame.header.request_id, FrameBody{reply}));
-      // Immediate full frame so the subscriber has a base to patch.
-      if (latest != nullptr) {
-        std::string push = conn->delta.Encode(latest);
-        metrics_->full_frames->Increment();
-        ++conn->stats.full_frames;
-        conn->pushed_sequence = latest->sequence;
-        QueueOnConn(conn, std::move(push));
-      }
+      HandleSubscribe(conn, frame);
       continue;
     }
     if (frame.header.type == FrameType::kUnsubscribe) {
@@ -303,7 +355,8 @@ bool PiServer::ServiceConnection(Connection* conn) {
       continue;
     }
 
-    FrameBody reply = Dispatch(conn->session.get(), frame);
+    FrameBody reply = Dispatch(conn->session.get(), frame,
+                               conn->session_shard);
     if (std::holds_alternative<ErrorReply>(reply)) {
       metrics_->request_errors->Increment();
     }
@@ -328,6 +381,27 @@ namespace {
 struct DispatchVisitor {
   PiServer* server;
   service::Session* session;
+  /// Which shard `session` lives on; 0 on unsharded servers. Sharded
+  /// dispatch speaks global ids on the wire ((shard << 48) | local)
+  /// and the shard's local ids inward.
+  int shard;
+
+    bool sharded() const { return server->coordinator() != nullptr; }
+    /// Wire id -> this session's shard-local id. False when the id
+    /// names a different shard (the caller answers NotFound: ids are
+    /// session-scoped, and a session lives on exactly one shard).
+    bool ToLocal(QueryId wire_id, QueryId* local) const {
+      if (!sharded()) {
+        *local = wire_id;
+        return true;
+      }
+      if (service::ShardOfGlobalId(wire_id) != shard) return false;
+      *local = service::LocalIdOf(wire_id);
+      return true;
+    }
+    QueryId ToWire(QueryId local) const {
+      return sharded() ? service::GlobalId(shard, local) : local;
+    }
 
     FrameBody operator()(const SubmitRequest& req) {
       engine::QuerySpec spec;
@@ -340,21 +414,37 @@ struct DispatchVisitor {
       }
       auto id = session->Submit(spec, req.priority);
       if (!id.ok()) return ErrorReply::From(id.status());
-      return SubmitReply{id.value()};
+      return SubmitReply{ToWire(id.value())};
     }
     FrameBody operator()(const CancelRequest& req) {
-      Status status = session->Abort(req.id);
+      QueryId local = kInvalidQueryId;
+      if (!ToLocal(req.id, &local)) {
+        return ErrorReply{StatusCode::kNotFound,
+                          "query is not on this session's shard"};
+      }
+      Status status = session->Abort(local);
       if (!status.ok()) return ErrorReply::From(status);
       return CancelReply{};
     }
     FrameBody operator()(const ProgressRequest& req) {
-      auto row = session->Progress(req.id);
+      QueryId local = kInvalidQueryId;
+      if (!ToLocal(req.id, &local)) {
+        return ErrorReply{StatusCode::kNotFound,
+                          "query is not on this session's shard"};
+      }
+      auto row = session->Progress(local);
       if (!row.ok()) return ErrorReply::From(row.status());
       const service::SnapshotPtr snapshot = session->snapshot();
       ProgressReply reply;
       reply.sequence = snapshot ? snapshot->sequence : 0;
       reply.sim_time = snapshot ? snapshot->sim_time : 0.0;
       reply.row = std::move(row).value();
+      reply.row.id = ToWire(reply.row.id);
+      if (sharded() && reply.row.session_id != 0) {
+        // Session ids get the same global encoding the merged snapshot
+        // uses, so a Progress row matches the stream's rows verbatim.
+        reply.row.session_id = service::GlobalId(shard, reply.row.session_id);
+      }
       return reply;
     }
     FrameBody operator()(const WhatIfRequest& req) {
@@ -362,6 +452,14 @@ struct DispatchVisitor {
       scenario.blocked = req.blocked;
       scenario.aborted = req.aborted;
       scenario.reweighted = req.reweighted;
+      if (sharded()) {
+        // Global-id scenario straight to the coordinator: it validates
+        // shard consistency and translates to the target's shard.
+        auto eta =
+            server->coordinator()->EstimateWhatIf(scenario, req.target);
+        if (!eta.ok()) return ErrorReply::From(eta.status());
+        return WhatIfReply{eta.value()};
+      }
       auto eta = server->service()->EstimateWhatIf(scenario, req.target);
       if (!eta.ok()) return ErrorReply::From(eta.status());
       return WhatIfReply{eta.value()};
@@ -392,18 +490,50 @@ struct DispatchVisitor {
 
 }  // namespace
 
-FrameBody PiServer::Dispatch(service::Session* session, const Frame& request) {
+FrameBody PiServer::Dispatch(service::Session* session, const Frame& request,
+                             int session_shard) {
   obs::TraceSpan span(tracer_, "net", "dispatch");
-  return std::visit(DispatchVisitor{this, session}, request.body);
+  return std::visit(DispatchVisitor{this, session, session_shard},
+                    request.body);
 }
 
 StatsReply PiServer::BuildStats() {
   StatsReply stats;
-  const service::PiService::Liveness live = service_->CheckLiveness();
-  stats.uptime_quanta = live.uptime_quanta;
-  stats.ticker_age_quanta = live.age_quanta;
-  stats.watchdog_restarts =
-      service_->metrics()->counter("service.watchdog_restarts")->value();
+  if (coordinator_ == nullptr) {
+    const service::PiService::Liveness live = service_->CheckLiveness();
+    stats.uptime_quanta = live.uptime_quanta;
+    stats.ticker_age_quanta = live.age_quanta;
+    stats.watchdog_restarts =
+        service_->metrics()->counter("service.watchdog_restarts")->value();
+  } else {
+    // Aggregate liveness across shards: uptime/age are the worst case
+    // (max), restarts sum, and per-shard detail rides stats.shards.
+    for (int i = 0; i < coordinator_->num_shards(); ++i) {
+      service::PiService* shard = coordinator_->shard_service(i);
+      const service::PiService::Liveness live = shard->CheckLiveness();
+      stats.uptime_quanta = std::max(stats.uptime_quanta, live.uptime_quanta);
+      stats.ticker_age_quanta =
+          std::max(stats.ticker_age_quanta, live.age_quanta);
+      stats.watchdog_restarts +=
+          shard->metrics()->counter("service.watchdog_restarts")->value();
+
+      ShardStatsRow row;
+      row.shard = i;
+      row.uptime_quanta = live.uptime_quanta;
+      row.ticker_age_quanta = live.age_quanta;
+      row.watchdog_restarts =
+          shard->metrics()->counter("service.watchdog_restarts")->value();
+      const service::SnapshotPtr shard_latest =
+          shard_fanouts_[std::size_t(i)]->Latest();
+      if (shard_latest != nullptr) {
+        row.snapshots_published = shard_latest->sequence;
+        row.degraded = shard_latest->degraded;
+        row.num_running = shard_latest->num_running;
+        row.num_queued = shard_latest->num_queued;
+      }
+      stats.shards.push_back(row);
+    }
+  }
   const service::SnapshotPtr latest = fanout_.Latest();
   if (latest != nullptr) {
     stats.snapshots_published = latest->sequence;
@@ -419,16 +549,101 @@ StatsReply PiServer::BuildStats() {
   return stats;
 }
 
+void PiServer::MaybePublishMerged() {
+  if (coordinator_ == nullptr) return;
+  // One merge per loop wake, not per shard publish: GlobalSnapshot()
+  // returns the coordinator's cached pointer when no shard published,
+  // so the idle case is a handful of pointer compares.
+  service::SnapshotPtr merged = coordinator_->GlobalSnapshot();
+  if (merged != last_merged_) {
+    last_merged_ = merged;
+    fanout_.Publish(std::move(merged));
+  }
+}
+
+bool PiServer::PushPending() const {
+  if (fanout_.epoch() != pushed_epoch_) return true;
+  for (std::size_t i = 0; i < shard_fanouts_.size(); ++i) {
+    if (shard_fanouts_[i]->epoch() != pushed_shard_epochs_[i]) return true;
+  }
+  return false;
+}
+
+void PiServer::HandleSubscribe(Connection* conn, const Frame& frame) {
+  const auto* req = std::get_if<SubscribeRequest>(&frame.body);
+  int scope = req != nullptr ? req->shard : -1;
+  // Unsharded servers have exactly one stream; shard 0 is a synonym
+  // for it so single-shard tools work unchanged against either server.
+  const int num_shards =
+      coordinator_ != nullptr ? coordinator_->num_shards() : 1;
+  if (scope >= num_shards) {
+    QueueOnConn(conn,
+                EncodeFrame(frame.header.request_id,
+                            FrameBody{ErrorReply{
+                                StatusCode::kInvalidArgument,
+                                "subscribe shard out of range"}}));
+    return;
+  }
+  if (scope < 0 || coordinator_ == nullptr) scope = -1;
+  if (!conn->subscribed) {
+    conn->subscribed = true;
+    conn->delta.Reset();
+    conn->pushed_sequence = 0;
+    metrics_->AddSubscriptions(1);
+  } else if (conn->subscribe_shard != scope) {
+    // Re-scoping resets the stream: the delta chain restarts from a
+    // full frame of the new scope.
+    conn->delta.Reset();
+    conn->pushed_sequence = 0;
+  }
+  conn->subscribe_shard = scope;
+
+  SnapshotFanout* source =
+      scope >= 0 ? shard_fanouts_[std::size_t(scope)].get() : &fanout_;
+  SubscribeReply reply;
+  const service::SnapshotPtr latest = source->Latest();
+  reply.sequence = latest ? latest->sequence : 0;
+  QueueOnConn(conn, EncodeFrame(frame.header.request_id, FrameBody{reply}));
+  // Immediate full frame so the subscriber has a base to patch.
+  if (latest != nullptr) {
+    std::string push = conn->delta.Encode(latest);
+    metrics_->full_frames->Increment();
+    ++conn->stats.full_frames;
+    conn->pushed_sequence = latest->sequence;
+    QueueOnConn(conn, std::move(push));
+  }
+}
+
 void PiServer::PushSnapshots() {
   MQPI_PROF_SITE(prof, "net.push_snapshots");
   std::uint64_t epoch = 0;
-  const service::SnapshotPtr latest = fanout_.Latest(&epoch);
+  const service::SnapshotPtr global = fanout_.Latest(&epoch);
   pushed_epoch_ = epoch;
-  if (latest == nullptr) return;
+  // Mark every shard stream caught up front: the push below reads the
+  // same latests, so nothing published before this point is missed.
+  std::vector<service::SnapshotPtr> shard_latests(shard_fanouts_.size());
+  for (std::size_t i = 0; i < shard_fanouts_.size(); ++i) {
+    std::uint64_t shard_epoch = 0;
+    shard_latests[i] = shard_fanouts_[i]->Latest(&shard_epoch);
+    pushed_shard_epochs_[i] = shard_epoch;
+  }
+  // Push-gap/shed evidence lands in shard 0's recorder when sharded
+  // (service_ is shard 0): the loop is one thread and one recorder
+  // keeps its story in one place, rather than duplicating it N ways.
   obs::FlightRecorder* flight = service_->flight_recorder();
   std::vector<std::uint64_t> done;
   for (auto& [id, conn] : conns_) {
     if (!conn->subscribed || conn->closing()) continue;
+    const bool shard_scoped =
+        conn->subscribe_shard >= 0 &&
+        conn->subscribe_shard < static_cast<int>(shard_latests.size());
+    SnapshotFanout* source =
+        shard_scoped ? shard_fanouts_[std::size_t(conn->subscribe_shard)].get()
+                     : &fanout_;
+    const service::SnapshotPtr& latest =
+        shard_scoped ? shard_latests[std::size_t(conn->subscribe_shard)]
+                     : global;
+    if (latest == nullptr) continue;
     if (conn->pushed_sequence >= latest->sequence) continue;
     // Publishes the loop slept through surface as sequence gaps: the
     // delta encoder folds them into one patch, but the recorder keeps
@@ -448,7 +663,7 @@ void PiServer::PushSnapshots() {
                      static_cast<double>(id), latest->sequence);
       flight->Trigger("consumer_shed");
     }
-    metrics_->ObservePublishToWrite(fanout_, latest->sequence);
+    metrics_->ObservePublishToWrite(*source, latest->sequence);
     FlushConnection(conn.get());
     if (conn->closing() && !conn->wants_write()) {
       done.push_back(id);

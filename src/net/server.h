@@ -43,6 +43,7 @@
 #include "net/wire.h"
 #include "service/pi_service.h"
 #include "service/session.h"
+#include "service/sharded_service.h"
 
 namespace mqpi::net {
 
@@ -76,6 +77,16 @@ class PiServer {
   /// `service` must outlive the server. Metrics land in the service's
   /// registry under `net.*`.
   explicit PiServer(service::PiService* service, PiServerOptions options = {});
+  /// Sharded mode: front an N-shard coordinator. Each shard publishes
+  /// into its own per-shard fanout (the O(1)-publish invariant holds
+  /// per shard); the loop thread assembles the merged global stream
+  /// once per wake from the coordinator's cached merge. Connections
+  /// subscribe to the global stream or a single shard's
+  /// (SubscribeRequest::shard); sessions hash-route by connection
+  /// name; query ids on the wire are global ((shard << 48) | local).
+  /// `net.*` metrics land in the coordinator's registry.
+  explicit PiServer(service::ShardedPiService* coordinator,
+                    PiServerOptions options = {});
   /// Stops (see Stop()) if still running.
   ~PiServer();
 
@@ -108,17 +119,35 @@ class PiServer {
   }
   HttpExporter* http() { return http_.get(); }
 
+  /// The merged/global stream's fanout (the only stream when
+  /// unsharded).
   SnapshotFanout* fanout() { return &fanout_; }
+  /// Sharded mode: shard i's own fanout; null when unsharded.
+  SnapshotFanout* shard_fanout(int shard) {
+    return coordinator_ != nullptr &&
+                   shard >= 0 &&
+                   shard < static_cast<int>(shard_fanouts_.size())
+               ? shard_fanouts_[static_cast<std::size_t>(shard)].get()
+               : nullptr;
+  }
   SubscriberPool* pool() { return pool_.get(); }
   NetMetrics* metrics() { return metrics_.get(); }
+  /// Unsharded: the one service. Sharded: shard 0's service (tracer
+  /// and flight-recorder hookups are shard-0-scoped; see the .cc).
   service::PiService* service() { return service_; }
+  /// Null when unsharded.
+  service::ShardedPiService* coordinator() { return coordinator_; }
 
   /// The request dispatcher shared by the TCP loop and LocalClient:
   /// executes `request` against `session` and returns the reply body
-  /// (a reply struct or ErrorReply). SUBSCRIBE/UNSUBSCRIBE are
-  /// transport-level and rejected here with FailedPrecondition —
-  /// each transport implements them against its own push machinery.
-  FrameBody Dispatch(service::Session* session, const Frame& request);
+  /// (a reply struct or ErrorReply). `session_shard` is the shard the
+  /// session lives on (0 when unsharded) — sharded dispatch translates
+  /// ids between the wire's global space and the shard's local space.
+  /// SUBSCRIBE/UNSUBSCRIBE are transport-level and rejected here with
+  /// FailedPrecondition — each transport implements them against its
+  /// own push machinery.
+  FrameBody Dispatch(service::Session* session, const Frame& request,
+                     int session_shard = 0);
 
   /// Server-wide STATS fields (service liveness + net totals). The
   /// per-connection fields stay zero; the TCP loop overlays them.
@@ -150,14 +179,30 @@ class PiServer {
   void EvaluateConnFaults();
   /// Loop-thread half of Drain(): goodbye + closing for subscribers.
   void DrainOnLoop();
+  /// Sharded only: publish the coordinator's merged view into the
+  /// global fanout when any shard published since the last wake (the
+  /// coordinator quantum — one merge per loop wake, not per shard
+  /// publish).
+  void MaybePublishMerged();
+  /// Any stream (global or shard) with publishes the loop hasn't
+  /// pushed yet?
+  bool PushPending() const;
+  /// SUBSCRIBE handling for the TCP transport (scope validation +
+  /// immediate full frame).
+  void HandleSubscribe(Connection* conn, const Frame& frame);
 
   service::PiService* const service_;
+  service::ShardedPiService* const coordinator_;  // null when unsharded
   const PiServerOptions options_;
   fault::FaultInjector* const fault_;
   obs::Tracer* const tracer_;
 
   std::unique_ptr<NetMetrics> metrics_;
   SnapshotFanout fanout_;
+  /// Sharded only: one fanout per shard, index-aligned with the
+  /// coordinator's shards. Each shard's publish hook lands here —
+  /// pointer swap + waker signal, nothing global.
+  std::vector<std::unique_ptr<SnapshotFanout>> shard_fanouts_;
   std::unique_ptr<SubscriberPool> pool_;
   std::unique_ptr<HttpExporter> http_;  // null when http_port < 0
   LoopWaker waker_;
@@ -178,6 +223,10 @@ class PiServer {
   std::unordered_map<int, std::uint64_t> conn_by_fd_;
   std::uint64_t next_conn_id_ = 1;
   std::uint64_t pushed_epoch_ = 0;
+  std::vector<std::uint64_t> pushed_shard_epochs_;
+  /// Last merged snapshot the loop published into fanout_ (pointer
+  /// compare against the coordinator's cache).
+  service::SnapshotPtr last_merged_;
   std::atomic<std::uint64_t> accepted_{0};
 };
 

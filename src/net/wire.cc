@@ -235,7 +235,9 @@ void EncodeBody(WireWriter* w, const ProgressReply& p) {
   w->F64(p.sim_time);
   EncodeSnapshotRow(w, p.row);
 }
-void EncodeBody(WireWriter*, const SubscribeRequest&) {}
+void EncodeBody(WireWriter* w, const SubscribeRequest& p) {
+  w->I32(p.shard);
+}
 void EncodeBody(WireWriter* w, const SubscribeReply& p) { w->U64(p.sequence); }
 void EncodeBody(WireWriter*, const UnsubscribeRequest&) {}
 void EncodeBody(WireWriter*, const UnsubscribeReply&) {}
@@ -272,6 +274,17 @@ void EncodeBody(WireWriter* w, const StatsReply& p) {
   w->U64(p.conn_delta_frames);
   w->U64(p.conn_queue_hw_frames);
   w->U64(p.conn_queue_hw_bytes);
+  w->U32(static_cast<std::uint32_t>(p.shards.size()));
+  for (const ShardStatsRow& row : p.shards) {
+    w->I32(row.shard);
+    w->U64(row.uptime_quanta);
+    w->F64(row.ticker_age_quanta);
+    w->U64(row.snapshots_published);
+    w->U64(row.watchdog_restarts);
+    w->U8(row.degraded ? 1 : 0);
+    w->I32(row.num_running);
+    w->I32(row.num_queued);
+  }
 }
 void EncodeBody(WireWriter* w, const ErrorReply& p) {
   w->U8(static_cast<std::uint8_t>(p.code));
@@ -291,6 +304,17 @@ void EncodeBody(WireWriter* w, const SnapshotFrame& p) {
   w->U32(p.total_rows);
   w->U32(static_cast<std::uint32_t>(p.rows.size()));
   for (const auto& row : p.rows) EncodeSnapshotRow(w, row);
+  w->U32(static_cast<std::uint32_t>(p.shard_loads.size()));
+  for (const service::ShardLoad& load : p.shard_loads) {
+    w->I32(load.shard);
+    w->U64(load.sequence);
+    w->F64(load.sim_time);
+    w->I32(load.num_running);
+    w->I32(load.num_queued);
+    w->F64(load.measured_rate);
+    w->F64(load.quiescent_eta);
+    w->U8(load.degraded ? 1 : 0);
+  }
 }
 
 FrameType TypeOf(const FrameBody& body, bool full_snapshot) {
@@ -390,7 +414,14 @@ bool DecodeBody(WireReader* r, ProgressReply* p) {
   return r->U64(&p->sequence) && r->F64(&p->sim_time) &&
          DecodeSnapshotRow(r, &p->row);
 }
-bool DecodeBody(WireReader*, SubscribeRequest*) { return true; }
+bool DecodeBody(WireReader* r, SubscribeRequest* p) {
+  // Legacy peers sent an empty payload; that still means "global".
+  if (r->remaining() == 0) {
+    p->shard = -1;
+    return true;
+  }
+  return r->I32(&p->shard);
+}
 bool DecodeBody(WireReader* r, SubscribeReply* p) {
   return r->U64(&p->sequence);
 }
@@ -434,7 +465,25 @@ bool DecodeBody(WireReader* r, StatsReply* p) {
                   r->U64(&p->conn_queue_hw_frames) &&
                   r->U64(&p->conn_queue_hw_bytes);
   p->degraded = degraded != 0;
-  return ok;
+  if (!ok) return false;
+  // Legacy peers end the payload here (unsharded reply).
+  if (r->remaining() == 0) return true;
+  std::uint32_t shard_count = 0;
+  if (!r->U32(&shard_count) || shard_count > kMaxShardRows) return false;
+  p->shards.resize(shard_count);
+  for (ShardStatsRow& row : p->shards) {
+    std::uint8_t row_degraded = 0;
+    if (!r->I32(&row.shard) || !r->U64(&row.uptime_quanta) ||
+        !r->F64(&row.ticker_age_quanta) ||
+        !r->U64(&row.snapshots_published) ||
+        !r->U64(&row.watchdog_restarts) || !r->U8(&row_degraded) ||
+        !r->I32(&row.num_running) || !r->I32(&row.num_queued)) {
+      return false;
+    }
+    if (row_degraded > 1) return false;
+    row.degraded = row_degraded != 0;
+  }
+  return true;
 }
 bool DecodeBody(WireReader* r, ErrorReply* p) {
   std::uint8_t code = 0;
@@ -467,6 +516,28 @@ bool DecodeBody(WireReader* r, SnapshotFrame* p) {
   p->rows.resize(row_count);
   for (auto& row : p->rows) {
     if (!DecodeSnapshotRow(r, &row)) return false;
+  }
+  // Legacy peers end the payload here (single-shard stream).
+  if (r->remaining() == 0) return true;
+  std::uint32_t load_count = 0;
+  if (!r->U32(&load_count) || load_count > kMaxShardRows) return false;
+  p->shard_loads.resize(load_count);
+  for (service::ShardLoad& load : p->shard_loads) {
+    std::uint8_t load_degraded = 0;
+    std::int32_t shard = 0;
+    std::int32_t running = 0;
+    std::int32_t queued = 0;
+    if (!r->I32(&shard) || !r->U64(&load.sequence) ||
+        !r->F64(&load.sim_time) || !r->I32(&running) || !r->I32(&queued) ||
+        !r->F64(&load.measured_rate) || !r->F64(&load.quiescent_eta) ||
+        !r->U8(&load_degraded)) {
+      return false;
+    }
+    if (load_degraded > 1) return false;
+    load.shard = shard;
+    load.num_running = running;
+    load.num_queued = queued;
+    load.degraded = load_degraded != 0;
   }
   return true;
 }

@@ -54,6 +54,8 @@ inline constexpr std::size_t kMaxPayloadBytes = std::size_t{64} << 20;
 inline constexpr std::size_t kMaxStringBytes = std::size_t{1} << 20;
 /// Per-snapshot row-count ceiling (sanity bound on decode).
 inline constexpr std::uint32_t kMaxSnapshotRows = 4u << 20;
+/// Shard-row ceiling: the global id space gives shards 16 bits.
+inline constexpr std::uint32_t kMaxShardRows = 1u << 16;
 
 enum class FrameType : std::uint8_t {
   // client -> server
@@ -122,7 +124,15 @@ struct ProgressReply {
   service::QueryProgress row;
 };
 
-struct SubscribeRequest {};
+struct SubscribeRequest {
+  /// Stream scope on a sharded server: -1 subscribes to the merged
+  /// global stream (the only stream a single-shard server has); 0..N-1
+  /// subscribes to that shard's own publication — per-shard sequences,
+  /// shard-local ids, no merge latency. Out-of-range shards are
+  /// rejected with an ERROR frame. Legacy peers that send an empty
+  /// payload decode as -1.
+  std::int32_t shard = -1;
+};
 struct SubscribeReply {
   /// Snapshot sequence current at subscription time; the first push
   /// the subscriber sees is a SNAPSHOT_FULL at or after it.
@@ -156,6 +166,18 @@ struct PongReply {
 /// NetMetrics; the conn_* fields describe the asking connection and
 /// are overlaid by the TCP server (zero over in-process transports).
 struct StatsRequest {};
+/// Per-shard health row inside a STATS reply; present only when the
+/// server fronts a sharded coordinator (pi_top's per-shard footer).
+struct ShardStatsRow {
+  std::int32_t shard = 0;
+  std::uint64_t uptime_quanta = 0;
+  double ticker_age_quanta = 0.0;
+  std::uint64_t snapshots_published = 0;
+  std::uint64_t watchdog_restarts = 0;
+  bool degraded = false;
+  std::int32_t num_running = 0;
+  std::int32_t num_queued = 0;
+};
 struct StatsReply {
   // --- service plane ---
   std::uint64_t uptime_quanta = 0;
@@ -179,6 +201,8 @@ struct StatsReply {
   /// Write-queue high-water marks over the connection's lifetime.
   std::uint64_t conn_queue_hw_frames = 0;
   std::uint64_t conn_queue_hw_bytes = 0;
+  // --- shard plane (empty on unsharded servers and legacy peers) ---
+  std::vector<ShardStatsRow> shards;
 };
 
 /// Status-coded failure for the request whose id the header echoes.
@@ -212,6 +236,10 @@ struct SnapshotFrame {
   /// checks on apply).
   std::uint32_t total_rows = 0;
   std::vector<service::QueryProgress> rows;
+  /// Per-shard load gauges carried by merged (coordinator) snapshots;
+  /// empty on single-shard streams. Always sent in full (N entries,
+  /// tiny next to the row set), even in delta frames.
+  std::vector<service::ShardLoad> shard_loads;
 };
 
 using FrameBody =

@@ -180,4 +180,44 @@ Result<RecoveredService> Recover(const storage::Catalog* catalog,
   return out;
 }
 
+std::string ShardJournalDir(const std::string& root, int shard) {
+  return root + "/shard-" + std::to_string(shard);
+}
+
+Result<RecoveredShardedService> RecoverSharded(
+    const storage::Catalog* catalog, const std::string& root, int num_shards,
+    service::PiServiceOptions options, DurableLog::Options log_options,
+    std::function<void(int shard, service::PiServiceOptions*)> per_shard) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  RecoveredShardedService out;
+  out.shards.reserve(static_cast<std::size_t>(num_shards));
+  out.all_verified = true;
+  // Shards recover independently — separate directories, separate
+  // logs, separate replay timelines. A corrupt shard fails only its
+  // own recovery (and therefore the whole call, loudly), never by
+  // silently diverging a sibling.
+  for (int i = 0; i < num_shards; ++i) {
+    service::PiServiceOptions shard_options = options;
+    if (per_shard) per_shard(i, &shard_options);
+    auto recovered = Recover(catalog, ShardJournalDir(root, i),
+                             std::move(shard_options), log_options);
+    if (!recovered.ok()) return recovered.status();
+    out.events_replayed += recovered.value().events_replayed;
+    if (recovered.value().had_checkpoint && !recovered.value().verified) {
+      out.all_verified = false;
+    }
+    out.shards.push_back(std::move(recovered).value());
+  }
+  std::vector<service::PiService*> services;
+  services.reserve(out.shards.size());
+  for (RecoveredService& shard : out.shards) {
+    services.push_back(shard.service.get());
+  }
+  out.coordinator =
+      std::make_unique<service::ShardedPiService>(std::move(services));
+  return out;
+}
+
 }  // namespace mqpi::recover

@@ -25,14 +25,17 @@
 // for chaos runs that must recover differentially.
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.h"
 #include "recover/durable_log.h"
 #include "service/pi_service.h"
 #include "service/session.h"
+#include "service/sharded_service.h"
 
 namespace mqpi::storage {
 class Catalog;
@@ -83,5 +86,36 @@ Result<RecoveredService> Recover(const storage::Catalog* catalog,
                                  const std::string& dir,
                                  service::PiServiceOptions options,
                                  DurableLog::Options log_options = {});
+
+// ---- sharded recovery -------------------------------------------------------
+
+/// The journal layout a sharded deployment uses: shard i journals into
+/// `<root>/shard-<i>`, so shards flush, checkpoint, and recover with
+/// zero cross-shard coordination (one fault scope per directory).
+std::string ShardJournalDir(const std::string& root, int shard);
+
+struct RecoveredShardedService {
+  /// Per-shard recovery results, in shard order. Declared before the
+  /// coordinator so the coordinator (which borrows the services) is
+  /// destroyed first.
+  std::vector<RecoveredService> shards;
+  std::unique_ptr<service::ShardedPiService> coordinator;
+  std::uint64_t events_replayed = 0;  // sum over shards
+  /// True when every recovered shard with a checkpoint verified.
+  bool all_verified = false;
+};
+
+/// Recovers an N-shard deployment from `<root>/shard-<i>` directories
+/// (each a missing-dir fresh start when absent, like Recover). Shards
+/// recover independently; the returned coordinator adopts the
+/// recovered services. Tickers are started per `options.start_ticker`
+/// (after replay), exactly as in single-shard Recover. `per_shard`
+/// (optional) customizes each shard's options copy — fresh same-seed
+/// fault injectors per shard, matching how the pre-crash deployment
+/// was scoped.
+Result<RecoveredShardedService> RecoverSharded(
+    const storage::Catalog* catalog, const std::string& root, int num_shards,
+    service::PiServiceOptions options, DurableLog::Options log_options = {},
+    std::function<void(int shard, service::PiServiceOptions*)> per_shard = {});
 
 }  // namespace mqpi::recover

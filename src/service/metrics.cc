@@ -241,13 +241,26 @@ std::string MetricsRegistry::TextDump() const {
 }
 
 std::string MetricsRegistry::PrometheusDump() const {
+  return PrometheusDump(Labels{});
+}
+
+std::string MetricsRegistry::PrometheusDump(const Labels& extra) const {
+  // Per-shard registries are identical by construction; the exporter
+  // injects {shard="i"} here so one scrape can tell them apart.
+  const auto with_extra = [&extra](const Labels& labels) {
+    if (extra.empty()) return labels;
+    Labels merged = labels;
+    merged.insert(merged.end(), extra.begin(), extra.end());
+    return Canonical(merged);
+  };
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& [name, family] : counters_) {
     const std::string prom = PromName(name);
     out += "# TYPE " + prom + " counter\n";
     for (const auto& [key, series] : family) {
-      out += PromSeries(prom, PromLabelBody(series.labels)) + " " +
+      out += PromSeries(prom, PromLabelBody(with_extra(series.labels))) +
+             " " +
              FormatDouble(static_cast<double>(series.instrument->value())) +
              "\n";
     }
@@ -256,8 +269,8 @@ std::string MetricsRegistry::PrometheusDump() const {
     const std::string prom = PromName(name);
     out += "# TYPE " + prom + " gauge\n";
     for (const auto& [key, series] : family) {
-      out += PromSeries(prom, PromLabelBody(series.labels)) + " " +
-             FormatDouble(series.instrument->value()) + "\n";
+      out += PromSeries(prom, PromLabelBody(with_extra(series.labels))) +
+             " " + FormatDouble(series.instrument->value()) + "\n";
     }
   }
   for (const auto& [name, family] : histograms_) {
@@ -265,7 +278,7 @@ std::string MetricsRegistry::PrometheusDump() const {
     out += "# TYPE " + prom + " histogram\n";
     for (const auto& [key, series] : family) {
       const Histogram::Snapshot snap = series.instrument->snapshot();
-      const std::string base = PromLabelBody(series.labels);
+      const std::string base = PromLabelBody(with_extra(series.labels));
       const std::string sep = base.empty() ? "" : ",";
       for (std::size_t i = 0; i < snap.bounds.size(); ++i) {
         out += prom + "_bucket{" + base + sep + "le=\"" +

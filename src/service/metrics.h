@@ -134,6 +134,9 @@ class MetricsRegistry {
   /// (cumulative, with the `le` label and a `+Inf` terminator) plus
   /// `_sum` and `_count`.
   std::string PrometheusDump() const;
+  /// Same exposition with `extra` merged into every series' label set
+  /// (the HTTP exporter injects `shard="i"` per shard registry).
+  std::string PrometheusDump(const Labels& extra) const;
 
  private:
   template <typename T>

@@ -1,5 +1,10 @@
 #include "service/pi_service.h"
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <cmath>
 #include <utility>
@@ -118,6 +123,7 @@ PiService::PiService(const storage::Catalog* catalog, PiServiceOptions options)
   watchdog_restarts_ = metrics_.counter("service.watchdog_restarts");
   submits_shed_ = metrics_.counter("service.submits_shed");
   drains_ = metrics_.counter("service.drains");
+  pin_misses_ = metrics_.counter("service.ticker_pin_misses");
   degraded_estimates_ = metrics_.counter("pi.degraded_estimates");
   rate_floor_hits_ = metrics_.counter("pi.rate_floor_hits");
   corrupt_rate_samples_ = metrics_.counter("pi.corrupt_rate_samples");
@@ -914,6 +920,24 @@ void PiService::StartTickerThread() {
   if (ticker_.joinable()) return;
   ticker_stop_.store(false, std::memory_order_release);
   ticker_ = std::thread([this] { TickerLoop(); });
+  if (options_.pin_cpu >= 0) PinTicker(options_.pin_cpu);
+}
+
+void PiService::PinTicker(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  if (pthread_setaffinity_np(ticker_.native_handle(), sizeof(set), &set) !=
+      0) {
+    // A pin to an offline/nonexistent CPU must never kill the shard;
+    // the ticker just runs unpinned and the miss is observable.
+    pin_misses_->Increment();
+  }
+#else
+  (void)cpu;
+  pin_misses_->Increment();
+#endif
 }
 
 void PiService::StopTickerThread() {

@@ -148,6 +148,11 @@ struct PiServiceOptions {
   /// breakdown for /statusz. Off by default: disabled cost is one
   /// relaxed load per instrumented scope.
   bool enable_profiler = false;
+  /// Pin the ticker thread to this CPU (sched_setaffinity on the
+  /// thread). -1 = no pinning. Shards use this so each scheduler's
+  /// ticker stays cache-hot on its own core; a pin to a nonexistent
+  /// CPU is ignored with a metric bump, never fatal.
+  int pin_cpu = -1;
   /// Durability: every state-changing input (session open/close,
   /// submit, control, admission flips, clock steps, snapshot probes)
   /// is appended here, under the state lock and in mutation order —
@@ -379,6 +384,8 @@ class PiService {
   // touching the service-wide stop flag.
   void StartTickerThread();
   void StopTickerThread();
+  // Requires ticker_mu_ and a joinable ticker_. Best-effort affinity.
+  void PinTicker(int cpu);
   void NotifyWork();
   bool stop_requested() const {
     return stop_.load(std::memory_order_acquire);
@@ -459,6 +466,7 @@ class PiService {
   Counter* watchdog_restarts_;
   Counter* submits_shed_;
   Counter* drains_;
+  Counter* pin_misses_;
   Counter* degraded_estimates_;
   Counter* rate_floor_hits_;
   Counter* corrupt_rate_samples_;

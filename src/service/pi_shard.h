@@ -1,0 +1,67 @@
+// PiShard: one slice of a sharded PI deployment — a single
+// Rdbms + MultiQueryPi + ticker thread with its own snapshot
+// publication, metrics registry, fault scope, and (when recovered)
+// journal directory.
+//
+// A shard is deliberately nothing more than a PiService plus an index:
+// every per-scheduler invariant the service layer already proves
+// (pointer-only snapshot lock, O(1) publish hook, watchdog, drain
+// ordering) holds per shard with zero new machinery. What the shard
+// adds is identity — the index that the coordinator uses to route
+// sessions, remap query ids into the global id space, and label
+// metrics — and optional core pinning so each scheduler's ticker stays
+// cache-hot on its own CPU.
+//
+// Shards never talk to each other. All cross-shard state lives in
+// ShardedPiService (see service/sharded_service.h), which only ever
+// reads the shards' immutable latest-snapshot pointers.
+#pragma once
+
+#include <memory>
+
+#include "service/pi_service.h"
+
+namespace mqpi::service {
+
+struct PiShardOptions {
+  /// Shard index in [0, num_shards); also the high bits of every
+  /// global query/session id this shard's queries get (see
+  /// sharded_service.h).
+  int index = 0;
+  /// Per-shard service configuration. `pin_cpu` inside it pins the
+  /// shard's ticker thread; the coordinator fills it when its
+  /// `pin_cpus` knob is on.
+  PiServiceOptions service;
+};
+
+class PiShard {
+ public:
+  /// Owning construction: the shard builds and owns its PiService.
+  PiShard(const storage::Catalog* catalog, PiShardOptions options)
+      : index_(options.index),
+        owned_(std::make_unique<PiService>(catalog,
+                                           std::move(options.service))),
+        service_(owned_.get()) {}
+
+  /// Borrowing construction (recovery adoption): the service was
+  /// rebuilt by recover::Recover and is owned elsewhere; it must
+  /// outlive the shard.
+  PiShard(int index, PiService* adopted)
+      : index_(index), service_(adopted) {}
+
+  PiShard(const PiShard&) = delete;
+  PiShard& operator=(const PiShard&) = delete;
+  PiShard(PiShard&&) = default;
+  PiShard& operator=(PiShard&&) = default;
+
+  int index() const { return index_; }
+  PiService* service() { return service_; }
+  const PiService* service() const { return service_; }
+
+ private:
+  int index_ = 0;
+  std::unique_ptr<PiService> owned_;  // null when borrowing
+  PiService* service_ = nullptr;
+};
+
+}  // namespace mqpi::service

@@ -63,6 +63,22 @@ struct QueryProgress {
   }
 };
 
+/// Per-shard load gauge embedded in a merged (coordinator) snapshot so
+/// global readers can see the shape of the fleet without N extra RPCs.
+/// Single-shard snapshots leave `shard_loads` empty.
+struct ShardLoad {
+  int shard = 0;
+  /// The shard-local sequence this row was merged from.
+  std::uint64_t sequence = 0;
+  SimTime sim_time = 0.0;
+  int num_running = 0;
+  int num_queued = 0;
+  double measured_rate = 0.0;
+  /// Shard-local quiescent ETA relative to the shard's sim_time.
+  SimTime quiescent_eta = kUnknown;
+  bool degraded = false;
+};
+
 struct ProgressSnapshot {
   /// Increases by exactly 1 per published snapshot, starting at 1 (the
   /// service publishes an empty snapshot 0 on construction).
@@ -87,6 +103,9 @@ struct ProgressSnapshot {
   /// All queries ever submitted, sorted by id (terminal ones included
   /// so sessions can observe their final states).
   std::vector<QueryProgress> queries;
+  /// Non-empty only on coordinator-merged snapshots: one row per
+  /// shard, in shard order (see service/sharded_service.h).
+  std::vector<ShardLoad> shard_loads;
 
   /// Binary search by id; nullptr if the id is not in this snapshot.
   const QueryProgress* Find(QueryId id) const {

@@ -1,0 +1,132 @@
+#include "wlm/cross_shard.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mqpi::wlm {
+
+namespace {
+
+using service::ProgressSnapshot;
+using service::QueryProgress;
+
+bool Running(const QueryProgress& q) {
+  return q.state == sched::QueryState::kRunning;
+}
+
+/// The shard's bottleneck: the running query with the largest finite
+/// eta_multi (falling back to largest remaining cost when no finite
+/// multi-query ETA exists yet, e.g. right after startup).
+const QueryProgress* Bottleneck(const ProgressSnapshot& snap) {
+  const QueryProgress* best = nullptr;
+  bool best_finite = false;
+  for (const QueryProgress& q : snap.queries) {
+    if (!Running(q)) continue;
+    const bool finite = q.eta_multi >= 0.0 && std::isfinite(q.eta_multi);
+    if (best == nullptr) {
+      best = &q;
+      best_finite = finite;
+      continue;
+    }
+    if (finite != best_finite) {
+      if (finite) {
+        best = &q;
+        best_finite = true;
+      }
+      continue;
+    }
+    if (finite ? q.eta_multi > best->eta_multi
+               : q.remaining_cost > best->remaining_cost) {
+      best = &q;
+    }
+  }
+  return best;
+}
+
+double TotalRunningWeight(const ProgressSnapshot& snap) {
+  double total = 0.0;
+  for (const QueryProgress& q : snap.queries) {
+    if (Running(q)) total += q.weight;
+  }
+  return total;
+}
+
+}  // namespace
+
+Result<CrossShardChoice> CrossShardSpeedup::ChooseVictims(
+    const CrossShardOptions& options) {
+  if (options.max_victims < 1) {
+    return Status::InvalidArgument("max_victims must be >= 1");
+  }
+  std::vector<CrossShardVictim> candidates;
+  for (int shard = 0; shard < coordinator_->num_shards(); ++shard) {
+    service::PiService* svc = coordinator_->shard_service(shard);
+    const service::SnapshotPtr snap = svc->snapshot();
+    const QueryProgress* target = Bottleneck(*snap);
+    if (target == nullptr) continue;
+    // Baseline under the empty scenario: the live forecast's remaining
+    // time for the bottleneck. Candidate benefits subtract from this,
+    // so both ends come from the same forecast epoch.
+    const Result<SimTime> baseline = svc->EstimateWhatIf({}, target->id);
+    if (!baseline.ok()) continue;
+    const double shard_weight = TotalRunningWeight(*snap);
+    for (const QueryProgress& q : snap->queries) {
+      if (!Running(q) || q.id == target->id) continue;
+      pi::MultiQueryPi::WhatIf scenario;
+      scenario.blocked.push_back(q.id);
+      const Result<SimTime> hypothetical =
+          svc->EstimateWhatIf(scenario, target->id);
+      if (!hypothetical.ok()) continue;
+      CrossShardVictim cand;
+      cand.shard = shard;
+      cand.victim = q.id;
+      cand.target = target->id;
+      cand.global_victim = service::GlobalId(shard, q.id);
+      cand.global_target = service::GlobalId(shard, target->id);
+      cand.benefit = baseline.value() - hypothetical.value();
+      cand.rate_share = shard_weight > 0.0
+                            ? snap->measured_rate * q.weight / shard_weight
+                            : 0.0;
+      candidates.push_back(cand);
+    }
+  }
+  if (candidates.empty()) {
+    return Status::FailedPrecondition(
+        "no shard has a bottleneck with a blockable peer");
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CrossShardVictim& a, const CrossShardVictim& b) {
+              if (a.benefit != b.benefit) return a.benefit > b.benefit;
+              // Deterministic tiebreak so the choice is reproducible
+              // across identical snapshots.
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.victim < b.victim;
+            });
+
+  CrossShardChoice choice;
+  choice.candidates = static_cast<int>(candidates.size());
+  for (const CrossShardVictim& cand : candidates) {
+    if (static_cast<int>(choice.victims.size()) >= options.max_victims) break;
+    if (cand.benefit <= 0.0) break;  // sorted: nothing better follows
+    if (choice.rate_spent + cand.rate_share > options.rate_budget) continue;
+    choice.victims.push_back(cand);
+    choice.total_benefit += cand.benefit;
+    choice.rate_spent += cand.rate_share;
+  }
+  if (choice.victims.empty()) {
+    return Status::FailedPrecondition(
+        "no candidate fits the rate budget with positive benefit");
+  }
+  return choice;
+}
+
+Result<CrossShardVictim> CrossShardSpeedup::BestVictim() {
+  CrossShardOptions options;
+  options.max_victims = 1;
+  options.rate_budget = kInfiniteTime;
+  Result<CrossShardChoice> choice = ChooseVictims(options);
+  if (!choice.ok()) return choice.status();
+  return choice.value().victims.front();
+}
+
+}  // namespace mqpi::wlm

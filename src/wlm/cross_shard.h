@@ -1,0 +1,90 @@
+// Cross-shard victim selection: §3.1 speed-up decisions lifted to a
+// sharded fleet under one global rate budget.
+//
+// Within a shard the question is the paper's: which victim, when
+// blocked, most shortens the shard's bottleneck query? Across shards
+// the engines are independent — blocking a victim on shard A cannot
+// speed anything on shard B — so the coordinator-side question
+// decomposes cleanly: enumerate each shard's candidate (victim,
+// benefit) pairs via that shard's own `EstimateWhatIf` (the O(log n)
+// removal-benefit fast path), then choose greedily across the fleet
+// under the global budget.
+//
+// The budget is expressed in processing rate (U/s): blocking victim v
+// on shard s frees that victim's share of the shard's measured rate,
+// rate_v = measured_rate_s * w_v / W_s. A workload manager that must
+// not idle more than B U/s of fleet capacity at once passes that B;
+// kInfiniteTime (the default) disables the constraint and the choice
+// degenerates to the global argmax — exactly the per-shard enumeration
+// the differential test re-derives.
+//
+// Everything here runs on coordinator threads against published
+// snapshots and the services' locked `EstimateWhatIf` entry points; no
+// shard ticker is ever blocked by a cross-shard decision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "service/sharded_service.h"
+
+namespace mqpi::wlm {
+
+struct CrossShardOptions {
+  /// Max victims to pick fleet-wide.
+  int max_victims = 1;
+  /// Global rate budget (U/s of capacity the picks may idle).
+  /// Infinite = unconstrained.
+  double rate_budget = kInfiniteTime;
+};
+
+struct CrossShardVictim {
+  int shard = -1;
+  /// Shard-local ids (what the shard's engine speaks)...
+  QueryId victim = kInvalidQueryId;
+  QueryId target = kInvalidQueryId;
+  /// ...and their global encodings (what the wire speaks).
+  std::uint64_t global_victim = kInvalidQueryId;
+  std::uint64_t global_target = kInvalidQueryId;
+  /// Predicted shortening of the shard bottleneck's remaining time.
+  SimTime benefit = 0.0;
+  /// Rate share blocking this victim frees (counts against the
+  /// budget).
+  double rate_share = 0.0;
+};
+
+struct CrossShardChoice {
+  /// Picks in decreasing benefit order.
+  std::vector<CrossShardVictim> victims;
+  SimTime total_benefit = 0.0;
+  double rate_spent = 0.0;
+  /// Candidates evaluated fleet-wide (the differential test's
+  /// enumeration size).
+  int candidates = 0;
+};
+
+class CrossShardSpeedup {
+ public:
+  /// `coordinator` is borrowed and must outlive the selector.
+  explicit CrossShardSpeedup(service::ShardedPiService* coordinator)
+      : coordinator_(coordinator) {}
+
+  /// Greedy fleet-wide selection: per shard, the bottleneck target is
+  /// the running query with the largest finite multi-query ETA; every
+  /// other running query on that shard is a candidate victim whose
+  /// benefit is baseline − EstimateWhatIf({blocked: victim}). Fails
+  /// only when no shard has two running queries to trade between.
+  Result<CrossShardChoice> ChooseVictims(const CrossShardOptions& options);
+
+  /// The single unconstrained best pick — by construction equal to the
+  /// argmax over every shard's own EstimateWhatIf enumeration, which
+  /// the differential test verifies independently.
+  Result<CrossShardVictim> BestVictim();
+
+ private:
+  service::ShardedPiService* coordinator_;
+};
+
+}  // namespace mqpi::wlm

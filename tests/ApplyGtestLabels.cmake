@@ -1,0 +1,26 @@
+# Runs at ctest time, included *after* gtest_discover_tests' generated
+# include file, via a thin per-suite shim that sets:
+#   _mqpi_labels_glob  — glob matching the suite's <name>[N]_tests.cmake
+#   _mqpi_labels       — the ;-separated LABELS list to apply
+#
+# Why this exists: gtest_discover_tests cannot forward list-valued
+# properties — every ';' in a PROPERTIES value is flattened to a space
+# on the way into its generated script, so `PROPERTIES LABELS "a;b"`
+# silently degrades to just "a". Parsing the discovered test names back
+# out of the generated file and labelling them here keeps multi-label
+# suites (e.g. `ctest -L shard` and `ctest -L sanitize` both selecting
+# shard_test) working without patching the GoogleTest module.
+
+file(GLOB _mqpi_discovery_files "${_mqpi_labels_glob}")
+foreach(_mqpi_file IN LISTS _mqpi_discovery_files)
+  file(STRINGS "${_mqpi_file}" _mqpi_lines REGEX "^add_test\\(")
+  foreach(_mqpi_line IN LISTS _mqpi_lines)
+    # Names are bracket-quoted as [=[Suite.Case]=] (guard depth grows if
+    # a name ever contains ]=]); gtest names never contain ']', so
+    # capture up to the first one.
+    if(_mqpi_line MATCHES "^add_test\\(\\[=+\\[([^]]+)\\]")
+      set_tests_properties("${CMAKE_MATCH_1}" PROPERTIES
+        LABELS "${_mqpi_labels}")
+    endif()
+  endforeach()
+endforeach()

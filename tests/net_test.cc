@@ -126,7 +126,10 @@ FrameBody RandomBody(Rng* rng) {
       return body;
     }
     case 6:
-      return SubscribeRequest{};
+      // Spans the merged scope (-1) and shard scopes, including ones no
+      // real server would accept — the codec must carry them verbatim.
+      return SubscribeRequest{
+          static_cast<std::int32_t>(rng->UniformInt(-1, 8))};
     case 7:
       return SubscribeReply{
           static_cast<std::uint64_t>(rng->UniformInt(0, 1000))};
@@ -182,6 +185,19 @@ FrameBody RandomBody(Rng* rng) {
       for (int i = 0; i < rows; ++i) body.rows.push_back(RandomRow(rng));
       body.total_rows = static_cast<std::uint32_t>(
           rng->UniformInt(rows, rows + 100));
+      const int shard_loads = static_cast<int>(rng->UniformInt(0, 4));
+      for (int i = 0; i < shard_loads; ++i) {
+        service::ShardLoad load;
+        load.shard = i;
+        load.sequence = static_cast<std::uint64_t>(rng->UniformInt(0, 1000));
+        load.sim_time = RandomDouble(rng);
+        load.num_running = static_cast<int>(rng->UniformInt(0, 40));
+        load.num_queued = static_cast<int>(rng->UniformInt(0, 40));
+        load.measured_rate = RandomDouble(rng);
+        load.quiescent_eta = RandomDouble(rng);
+        load.degraded = rng->UniformInt(0, 1) == 1;
+        body.shard_loads.push_back(load);
+      }
       return body;
     }
   }

@@ -65,6 +65,8 @@ recover.checkpoints_written
 service.drains
 net.client.reconnects
 net.client.resubscribes
+coord.merges
+coord.rebalance_hints
 "
 for name in $required_counters; do
   if ! grep -q "^counter $name\$" "$names_file"; then
@@ -78,6 +80,7 @@ done
 required_gauges="
 service.uptime_quanta
 service.ticker_last_step_age_quanta
+coord.shards
 "
 for name in $required_gauges; do
   if ! grep -q "^gauge $name\$" "$names_file"; then
@@ -91,6 +94,7 @@ done
 required_histograms="
 net.publish_to_write_ns
 step.wall_ms
+coord.merge_ns
 "
 for name in $required_histograms; do
   if ! grep -q "^histogram $name\$" "$names_file"; then
@@ -98,6 +102,13 @@ for name in $required_histograms; do
     fail=1
   fi
 done
+
+# Sharded /metrics exposition must keep injecting the shard label on
+# every shard-scope registry dump (Grafana queries key on it).
+if ! grep -rqE '\{\{"shard"' "$root/src/net/http_export.cc"; then
+  echo "sharded /metrics no longer injects the shard=\"i\" label" >&2
+  fail=1
+fi
 
 if [ "$fail" -eq 0 ]; then
   echo "check_metrics_names: $(wc -l < "$names_file") metric names OK"
